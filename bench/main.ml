@@ -1,0 +1,137 @@
+(* Benchmark harness.
+
+   Default mode regenerates every table and figure of the paper from one
+   shared experiment harness and prints them — this is the output
+   recorded in bench_output.txt / EXPERIMENTS.md.
+
+   `--micro` instead runs one Bechamel micro-benchmark per table/figure,
+   timing the computational kernel behind each artifact (simulation,
+   profiling, transformation, analysis). *)
+
+let instrs =
+  match Sys.getenv_opt "CRITICS_BENCH_INSTRS" with
+  | Some s -> int_of_string s
+  | None -> 100_000
+
+(* ------------------------- micro benchmarks ----------------------- *)
+
+let micro () =
+  let open Bechamel in
+  let app name = Option.get (Workload.Apps.find name) in
+  (* Small shared inputs so each Test.make times one kernel. *)
+  let ctx = Critics.Run.prepare ~instrs:8_000 (app "Acrobat") in
+  let spec_ctx = Critics.Run.prepare ~instrs:8_000 (app "lbm") in
+  let critic_program = Critics.Run.transformed ctx Critics.Scheme.Critic in
+  let run_cfg cfg trace () = ignore (Pipeline.Cpu.run cfg trace) in
+  let tests =
+    [
+      (* Table I/II: configuration & workload construction *)
+      Test.make ~name:"tab1.describe"
+        (Staged.stage (fun () ->
+             ignore (Pipeline.Config.describe Pipeline.Config.table_i)));
+      Test.make ~name:"tab2.generate"
+        (Staged.stage (fun () -> ignore (Workload.Gen.program (app "Music"))));
+      (* Fig 1: baseline criticality mechanisms *)
+      Test.make ~name:"fig1.prefetch_run"
+        (Staged.stage
+           (run_cfg
+              (Pipeline.Config.with_critical_load_prefetch
+                 Pipeline.Config.table_i)
+              spec_ctx.trace));
+      Test.make ~name:"fig1.prioritize_run"
+        (Staged.stage
+           (run_cfg
+              (Pipeline.Config.with_backend_prio Pipeline.Config.table_i)
+              spec_ctx.trace));
+      (* Fig 2/4: list scheduling *)
+      Test.make ~name:"fig2.schedule"
+        (Staged.stage (fun () ->
+             ignore (Experiments.Worked_example.example ())));
+      (* Fig 3: baseline simulation with stage accounting *)
+      Test.make ~name:"fig3.baseline_run"
+        (Staged.stage (run_cfg Pipeline.Config.table_i ctx.trace));
+      (* Fig 5: offline profiling (DFG + IC enumeration) *)
+      Test.make ~name:"fig5.profile"
+        (Staged.stage (fun () ->
+             ignore (Profiler.Profile_run.profile ctx.trace)));
+      (* Fig 8/10: the compiler pass and transformed-run kernels *)
+      Test.make ~name:"fig8.branch_pass"
+        (Staged.stage (fun () ->
+             ignore
+               (Transform.Critic_pass.apply
+                  ~options:
+                    {
+                      Transform.Critic_pass.default_options with
+                      mode = Branches;
+                    }
+                  ctx.db ctx.program)));
+      Test.make ~name:"fig10.critic_pass"
+        (Staged.stage (fun () ->
+             ignore (Transform.Critic_pass.apply ctx.db ctx.program)));
+      Test.make ~name:"fig10.critic_run"
+        (Staged.stage (fun () ->
+             ignore
+               (Pipeline.Cpu.run Pipeline.Config.table_i
+                  (Prog.Trace.expand critic_program ~seed:ctx.seed ctx.path))));
+      (* Fig 11: a hardware-variant simulation *)
+      Test.make ~name:"fig11.allhw_run"
+        (Staged.stage
+           (run_cfg (Pipeline.Config.all_hw Pipeline.Config.table_i) ctx.trace));
+      (* Fig 12: partial profiling *)
+      Test.make ~name:"fig12.partial_profile"
+        (Staged.stage (fun () ->
+             ignore (Profiler.Profile_run.profile ~fraction:0.5 ctx.trace)));
+      (* Fig 13: the criticality-agnostic passes *)
+      Test.make ~name:"fig13.opp16"
+        (Staged.stage (fun () -> ignore (Transform.Thumb.opp16 ctx.program)));
+      Test.make ~name:"fig13.compress"
+        (Staged.stage (fun () -> ignore (Transform.Thumb.compress ctx.program)));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"critics" ~fmt:"%s.%s" tests in
+  let benchmark () =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:100 ~quota:(Time.second 0.25) ~kde:(Some 10) ()
+    in
+    let raw = Benchmark.all cfg instances grouped in
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let results = benchmark () in
+  Printf.printf "%-34s %16s\n" "kernel" "time/run";
+  Printf.printf "%s\n" (String.make 52 '-');
+  List.iter
+    (fun tbl ->
+      let rows = ref [] in
+      Hashtbl.iter
+        (fun name result ->
+          let time =
+            match Analyze.OLS.estimates result with
+            | Some (t :: _) -> t
+            | _ -> nan
+          in
+          rows := (name, time) :: !rows)
+        tbl;
+      List.iter
+        (fun (name, time) -> Printf.printf "%-34s %13.0f ns\n" name time)
+        (List.sort compare !rows))
+    results
+
+(* ------------------------- table regeneration --------------------- *)
+
+let tables () =
+  Printf.printf
+    "CritICs reproduction — regenerating every table and figure\n\
+     (%d work instructions per app run; see EXPERIMENTS.md for the\n\
+     paper-vs-measured discussion)\n"
+    instrs;
+  let h = Experiments.Harness.create ~instrs () in
+  Experiments.run_all h
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "--micro" :: _ -> micro ()
+  | _ -> tables ()

@@ -1,0 +1,220 @@
+(* Command-line interface to the CritICs reproduction. *)
+
+open Cmdliner
+
+let app_arg =
+  let doc = "Application name (see `critics apps' for the list)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+
+let instrs_arg =
+  let doc = "Dynamic work instructions to simulate per run." in
+  Arg.(value & opt int Critics.Run.default_instrs & info [ "instrs" ] ~doc)
+
+let lookup_app name =
+  match Workload.Apps.find name with
+  | Some p -> Ok p
+  | None ->
+    Error
+      (Printf.sprintf "unknown app %S; try `critics apps'" name)
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline msg;
+    exit 1
+
+(* ------------------------------- apps ---------------------------- *)
+
+let apps_cmd =
+  let run () = print_endline (Workload.Apps.table_ii ()) in
+  Cmd.v (Cmd.info "apps" ~doc:"List the evaluated applications (Table II)")
+    Term.(const run $ const ())
+
+(* ------------------------------ config --------------------------- *)
+
+let config_cmd =
+  let run () =
+    print_endline
+      (Util.Text_table.render_kv
+         (Pipeline.Config.describe Pipeline.Config.table_i))
+  in
+  Cmd.v
+    (Cmd.info "config" ~doc:"Print the baseline machine (Table I)")
+    Term.(const run $ const ())
+
+(* ------------------------------- run ----------------------------- *)
+
+let scheme_arg =
+  let doc =
+    "Scheme: " ^ String.concat ", " (List.map Critics.Scheme.name Critics.Scheme.all)
+  in
+  Arg.(value & opt string "critic" & info [ "scheme" ] ~doc)
+
+let run_cmd =
+  let run app scheme instrs =
+    let profile = or_die (lookup_app app) in
+    let scheme =
+      match Critics.Scheme.of_string scheme with
+      | Some s -> s
+      | None ->
+        prerr_endline ("unknown scheme " ^ scheme);
+        exit 1
+    in
+    let ctx = Critics.Run.prepare ~instrs profile in
+    let base = Critics.Run.stats ctx Critics.Scheme.Baseline in
+    let st = Critics.Run.stats ctx scheme in
+    Printf.printf "%s / %s (%d work instructions)\n\n" profile.name
+      (Critics.Scheme.name scheme) instrs;
+    print_endline (Pipeline.Stats.render st);
+    if scheme <> Critics.Scheme.Baseline then begin
+      Printf.printf "\nspeedup over baseline: %s\n"
+        (Util.Stats.pct (Critics.Run.speedup ~base st));
+      let e = Critics.Run.energy ~base st in
+      Printf.printf "system energy saving:  %s (CPU-only %s)\n"
+        (Util.Stats.pct e.system) (Util.Stats.pct e.cpu_only)
+    end
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate one application under one scheme")
+    Term.(const run $ app_arg $ scheme_arg $ instrs_arg)
+
+(* ----------------------------- compare --------------------------- *)
+
+let compare_cmd =
+  let run app instrs =
+    let profile = or_die (lookup_app app) in
+    let ctx = Critics.Run.prepare ~instrs profile in
+    let base = Critics.Run.stats ctx Critics.Scheme.Baseline in
+    Printf.printf "%s: baseline %d cycles, IPC %.2f\n\n" profile.name
+      base.cycles (Pipeline.Stats.ipc base);
+    let rows =
+      List.map
+        (fun scheme ->
+          let st = Critics.Run.stats ctx scheme in
+          [
+            Critics.Scheme.name scheme;
+            string_of_int st.Pipeline.Stats.cycles;
+            Util.Stats.pct (Critics.Run.speedup ~base st);
+            Util.Stats.pct
+              (float_of_int st.thumb_committed
+              /. float_of_int (max 1 st.committed_total));
+          ])
+        Critics.Scheme.all
+    in
+    print_endline
+      (Util.Text_table.render
+         ~header:[ "scheme"; "cycles"; "speedup"; "16-bit instrs" ]
+         rows)
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run every scheme on one application")
+    Term.(const run $ app_arg $ instrs_arg)
+
+(* ----------------------------- profile --------------------------- *)
+
+let profile_cmd =
+  let save_arg =
+    let doc = "Write the CritIC database to $(docv) (text format)." in
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
+  in
+  let run app instrs save =
+    let profile = or_die (lookup_app app) in
+    let ctx = Critics.Run.prepare ~instrs profile in
+    let db = ctx.db in
+    (match save with
+    | Some path ->
+      Profiler.Db_io.save db path;
+      Printf.printf "database written to %s\n" path
+    | None -> ());
+    Printf.printf "%s: %d CritIC sites, coverage %s (convertible %s)\n\n"
+      profile.name
+      (List.length db.sites)
+      (Util.Stats.pct (Profiler.Critic_db.coverage db))
+      (Util.Stats.pct (Profiler.Critic_db.convertible_coverage db));
+    let top = List.filteri (fun i _ -> i < 15) db.sites in
+    print_endline
+      (Util.Text_table.render
+         ~header:
+           [ "block"; "len"; "occurrences"; "criticality"; "convertible";
+             "chain" ]
+         (List.map
+            (fun (s : Profiler.Critic_db.site) ->
+              [
+                string_of_int s.block_id;
+                string_of_int (Profiler.Critic_db.site_length s);
+                string_of_int s.occurrences;
+                Printf.sprintf "%.1f" s.criticality;
+                (if s.convertible then "yes" else "no");
+                s.key;
+              ])
+            top))
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Show the CritIC database of an application")
+    Term.(const run $ app_arg $ instrs_arg $ save_arg)
+
+(* --------------------------- characterize ------------------------- *)
+
+let characterize_cmd =
+  let run app instrs =
+    let profile = or_die (lookup_app app) in
+    let _, trace = Workload.Gen.trace ~instrs profile in
+    Printf.printf "%s — %s\n\n%s\n" profile.name profile.activity
+      (Workload.Characterize.render (Workload.Characterize.of_trace trace))
+  in
+  Cmd.v
+    (Cmd.info "characterize"
+       ~doc:"Summarize an application's dynamic instruction stream")
+    Term.(const run $ app_arg $ instrs_arg)
+
+(* ------------------------------ schemes --------------------------- *)
+
+let schemes_cmd =
+  let run () =
+    List.iter
+      (fun s ->
+        Printf.printf "%-16s %s\n" (Critics.Scheme.name s)
+          (Critics.Scheme.describe s))
+      Critics.Scheme.all
+  in
+  Cmd.v
+    (Cmd.info "schemes" ~doc:"List the code-generation schemes")
+    Term.(const run $ const ())
+
+(* ---------------------------- experiment -------------------------- *)
+
+let experiment_cmd =
+  let id_arg =
+    let doc = "Experiment id (tab1, tab2, fig1, ..., ablations) or `all'." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let run id instrs =
+    let h = Experiments.Harness.create ~instrs () in
+    if id = "all" then Experiments.run_all h
+    else
+      match Experiments.find id with
+      | Some e -> print_endline (e.render h)
+      | None ->
+        prerr_endline
+          ("unknown experiment; available: all "
+          ^ String.concat " "
+              (List.map (fun (e : Experiments.entry) -> e.id) Experiments.all));
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Regenerate a table/figure of the paper (or `all')")
+    Term.(const run $ id_arg $ instrs_arg)
+
+(* ------------------------------ main ----------------------------- *)
+
+let () =
+  let info =
+    Cmd.info "critics" ~version:Critics.version
+      ~doc:"CritICs: critical instruction chains for mobile apps (MICRO'18)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ apps_cmd; config_cmd; schemes_cmd; run_cmd; compare_cmd;
+            profile_cmd; characterize_cmd; experiment_cmd ]))

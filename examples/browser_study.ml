@@ -1,0 +1,55 @@
+(* A deep dive into one app (Browser): where do critical instructions
+   spend their time, what do the profiled chains look like, and what
+   changes once the CritIC pass runs?
+
+   Run with: dune exec examples/browser_study.exe *)
+
+let shares name (s : Critics.Pipeline.Stats.stage_summary) =
+  Printf.printf "%-22s" name;
+  List.iter
+    (fun (k, v) -> Printf.printf " %s %4.1f%%" k (100.0 *. v))
+    (Critics.Pipeline.Stats.summary_shares s);
+  print_newline ()
+
+let () =
+  let app = Option.get (Critics.Workload.Apps.find "Browser") in
+  let ctx = Critics.Run.prepare ~instrs:120_000 app in
+  Printf.printf "== %s: %d static blocks, %d KB of code\n\n" app.name
+    (Critics.Prog.Program.num_blocks ctx.program)
+    (Critics.Prog.Program.code_size ctx.program / 1024);
+
+  (* Baseline: the critical population is front-end heavy. *)
+  let base = Critics.Run.stats ctx Critics.Scheme.Baseline in
+  Printf.printf "baseline IPC %.2f; critical instructions: %s of stream\n"
+    (Critics.Pipeline.Stats.ipc base)
+    (Critics.Util.Stats.pct (Critics.Pipeline.Stats.critical_fraction base));
+  shares "  all instructions" base.stage_all;
+  shares "  critical instrs" base.stage_critical;
+
+  (* The profiled chains. *)
+  let db = ctx.db in
+  Printf.printf "\nCritIC database: %d sites, coverage %s, convertible %s\n"
+    (List.length db.sites)
+    (Critics.Util.Stats.pct (Critics.Profiler.Critic_db.coverage db))
+    (Critics.Util.Stats.pct
+       (Critics.Profiler.Critic_db.convertible_coverage db));
+  let lengths =
+    List.map Critics.Profiler.Critic_db.site_length db.sites
+    |> List.map float_of_int
+  in
+  Printf.printf "site length: mean %.1f, max %.0f\n"
+    (Critics.Util.Stats.mean lengths)
+    (List.fold_left max 0.0 lengths);
+
+  (* After the pass: chains run in 16-bit form behind CDP markers. *)
+  let critic = Critics.Run.stats ctx Critics.Scheme.Critic in
+  Printf.printf "\nCritIC: %d cycles vs %d baseline → %s speedup\n"
+    critic.cycles base.cycles
+    (Critics.Util.Stats.pct (Critics.Run.speedup ~base critic));
+  Printf.printf "16-bit instructions executed: %d (+%d CDP markers)\n"
+    critic.thumb_committed critic.cdp_markers;
+  shares "  chain instructions" critic.stage_chain;
+
+  (* Fetch side effect of the conversion. *)
+  Printf.printf "\ni-cache: %d accesses (baseline %d), misses %d (vs %d)\n"
+    critic.l1i.accesses base.l1i.accesses critic.l1i.misses base.l1i.misses

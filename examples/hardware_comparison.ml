@@ -1,0 +1,42 @@
+(* CritIC (software-only) against the hardware fetch/backend mechanisms
+   of Sec. IV-G, on two contrasting apps: a chain-dense document reader
+   (Acrobat) and a streaming app (Youtube).
+
+   Run with: dune exec examples/hardware_comparison.exe *)
+
+let mechanisms =
+  let open Critics.Pipeline.Config in
+  [
+    ("2xFD", with_2x_fd table_i);
+    ("4xI$", with_4x_icache table_i);
+    ("EFetch", with_efetch table_i);
+    ("PerfectBr", with_perfect_branch table_i);
+    ("BackendPrio", with_backend_prio table_i);
+    ("AllHW", all_hw table_i);
+  ]
+
+let study name =
+  let app = Option.get (Critics.Workload.Apps.find name) in
+  let ctx = Critics.Run.prepare ~instrs:120_000 app in
+  let base = Critics.Run.stats ctx Critics.Scheme.Baseline in
+  Printf.printf "\n== %s (baseline IPC %.2f)\n" name
+    (Critics.Pipeline.Stats.ipc base);
+  let row label config scheme =
+    let st = Critics.Run.stats ~config ctx scheme in
+    Printf.printf "  %-24s %s\n" label
+      (Critics.Util.Stats.pct (Critics.Run.speedup ~base st))
+  in
+  row "CritIC (no extra HW)" Critics.Pipeline.Config.table_i
+    Critics.Scheme.Critic;
+  List.iter
+    (fun (label, config) ->
+      row (label ^ " alone") config Critics.Scheme.Baseline;
+      row (label ^ " + CritIC") config Critics.Scheme.Critic)
+    mechanisms
+
+let () =
+  print_endline
+    "Speedup over the Table I baseline: hardware mechanisms vs software\n\
+     CritIC, alone and combined.";
+  study "Acrobat";
+  study "Youtube"

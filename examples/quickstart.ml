@@ -1,0 +1,33 @@
+(* Quickstart: profile one Play-Store-style app, apply the CritIC
+   compiler pass, and measure the speedup on the Table I machine.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Pick a workload (Table II). *)
+  let app = Option.get (Critics.Workload.Apps.find "Email") in
+  Printf.printf "App: %s — %s\n" app.name app.activity;
+
+  (* 2. Generate the program, walk it, expand the trace, and run the
+        offline profiler to build the CritIC database. *)
+  let ctx = Critics.Run.prepare ~instrs:100_000 app in
+  Printf.printf "CritIC sites: %d (dynamic coverage %s)\n"
+    (List.length ctx.db.sites)
+    (Critics.Util.Stats.pct (Critics.Profiler.Critic_db.coverage ctx.db));
+
+  (* 3. Simulate the baseline and the CritIC-transformed binary over the
+        exact same work. *)
+  let base = Critics.Run.stats ctx Critics.Scheme.Baseline in
+  let critic = Critics.Run.stats ctx Critics.Scheme.Critic in
+  Printf.printf "baseline: %d cycles (IPC %.2f)\n" base.cycles
+    (Critics.Pipeline.Stats.ipc base);
+  Printf.printf "CritIC:   %d cycles (IPC %.2f)\n" critic.cycles
+    (Critics.Pipeline.Stats.ipc critic);
+  Printf.printf "speedup:  %s\n"
+    (Critics.Util.Stats.pct (Critics.Run.speedup ~base critic));
+
+  (* 4. Roll the cycle savings up into SoC energy. *)
+  let e = Critics.Run.energy ~base critic in
+  Printf.printf "energy:   %s system-wide, %s CPU-only\n"
+    (Critics.Util.Stats.pct e.system)
+    (Critics.Util.Stats.pct e.cpu_only)

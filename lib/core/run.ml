@@ -1,0 +1,69 @@
+type app_context = {
+  profile : Workload.Profile.t;
+  program : Prog.Program.t;
+  seed : int;
+  path : Prog.Walk.path;
+  trace : Prog.Trace.t;
+  db : Profiler.Critic_db.t;
+}
+
+let default_instrs = 120_000
+
+let prepare ?(instrs = default_instrs) ?(sample = 0) ?(profile_window = 512)
+    ?threshold ?(profile_fraction = 1.0) (profile : Workload.Profile.t) =
+  let program = Workload.Gen.program profile in
+  let seed = (profile.seed lxor 0x5EED) + (sample * 0x1000193) in
+  let path = Prog.Walk.path_for_instrs program ~seed ~instrs in
+  let trace = Prog.Trace.expand program ~seed path in
+  let db =
+    Profiler.Profile_run.profile ~window:profile_window ?threshold
+      ~fraction:profile_fraction trace
+  in
+  { profile; program; seed; path; trace; db }
+
+let transformed ctx (scheme : Scheme.t) =
+  let critic ?(options = Transform.Critic_pass.default_options) () =
+    fst (Transform.Critic_pass.apply ~options ctx.db ctx.program)
+  in
+  match scheme with
+  | Scheme.Baseline -> ctx.program
+  | Scheme.Hoist ->
+    critic
+      ~options:
+        { Transform.Critic_pass.default_options with mode = Hoist_only }
+      ()
+  | Scheme.Critic -> critic ()
+  | Scheme.Critic_ideal ->
+    critic ~options:Transform.Critic_pass.ideal_options ()
+  | Scheme.Critic_branches ->
+    critic
+      ~options:{ Transform.Critic_pass.default_options with mode = Branches }
+      ()
+  | Scheme.Macro_ideal ->
+    critic
+      ~options:
+        {
+          Transform.Critic_pass.ideal_options with
+          mode = Fused_macro;
+          ideal = false;
+        }
+      ()
+  | Scheme.Opp16 -> fst (Transform.Thumb.opp16 ctx.program)
+  | Scheme.Compress -> fst (Transform.Thumb.compress ctx.program)
+  | Scheme.Opp16_critic -> fst (Transform.Thumb.opp16 (critic ()))
+
+let trace_of ctx scheme =
+  match scheme with
+  | Scheme.Baseline -> ctx.trace
+  | _ -> Prog.Trace.expand (transformed ctx scheme) ~seed:ctx.seed ctx.path
+
+let stats ?(config = Pipeline.Config.table_i) ctx scheme =
+  Pipeline.Cpu.run config (trace_of ctx scheme)
+
+let speedup ~base (st : Pipeline.Stats.t) =
+  (float_of_int base.Pipeline.Stats.cycles /. float_of_int st.cycles) -. 1.0
+
+let energy ?params ~base st =
+  Energy.Model.saving
+    ~base:(Energy.Model.of_stats ?params base)
+    ~optimized:(Energy.Model.of_stats ?params st)

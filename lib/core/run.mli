@@ -1,0 +1,53 @@
+(** End-to-end runs: workload → profile → transform → simulate.
+
+    An {!app_context} packages everything derived once per application:
+    the generated program, the control-flow path (fixed across schemes,
+    so every scheme replays identical work), the baseline trace and the
+    CritIC database.  {!stats} then evaluates any scheme on any machine
+    configuration. *)
+
+type app_context = {
+  profile : Workload.Profile.t;
+  program : Prog.Program.t;
+  seed : int;
+  path : Prog.Walk.path;
+  trace : Prog.Trace.t;          (** baseline trace *)
+  db : Profiler.Critic_db.t;
+}
+
+val default_instrs : int
+(** Dynamic work instructions per run (120_000): roughly one of the
+    paper's 100 execution samples, after our 4× trace-length scale-down
+    for laptop turnaround (documented in DESIGN.md). *)
+
+val prepare :
+  ?instrs:int ->
+  ?sample:int ->
+  ?profile_window:int ->
+  ?threshold:float ->
+  ?profile_fraction:float ->
+  Workload.Profile.t ->
+  app_context
+(** Generate, walk, expand and profile one application.  [sample]
+    (default 0) selects one of the independent execution samples of the
+    same program — the equivalent of the paper's 100 random samples per
+    app: different control-flow walk, same code. *)
+
+val transformed : app_context -> Scheme.t -> Prog.Program.t
+(** The program a scheme's compiler pipeline produces. *)
+
+val trace_of : app_context -> Scheme.t -> Prog.Trace.t
+(** The scheme's program expanded over the *same* block path. *)
+
+val stats :
+  ?config:Pipeline.Config.t -> app_context -> Scheme.t -> Pipeline.Stats.t
+(** Simulate a scheme (default machine: Table I). *)
+
+val speedup : base:Pipeline.Stats.t -> Pipeline.Stats.t -> float
+(** Fractional cycle-count improvement over [base] for the same work. *)
+
+val energy :
+  ?params:Energy.Model.params ->
+  base:Pipeline.Stats.t ->
+  Pipeline.Stats.t ->
+  Energy.Model.saving

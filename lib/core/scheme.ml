@@ -1,0 +1,41 @@
+type t =
+  | Baseline
+  | Hoist
+  | Critic
+  | Critic_ideal
+  | Critic_branches
+  | Macro_ideal
+  | Opp16
+  | Compress
+  | Opp16_critic
+
+let all =
+  [ Baseline; Hoist; Critic; Critic_ideal; Critic_branches; Macro_ideal;
+    Opp16; Compress; Opp16_critic ]
+
+let name = function
+  | Baseline -> "baseline"
+  | Hoist -> "hoist"
+  | Critic -> "critic"
+  | Critic_ideal -> "critic.ideal"
+  | Critic_branches -> "critic.branches"
+  | Macro_ideal -> "macro.ideal"
+  | Opp16 -> "opp16"
+  | Compress -> "compress"
+  | Opp16_critic -> "opp16+critic"
+
+let of_string s =
+  let s = String.lowercase_ascii s in
+  List.find_opt (fun t -> name t = s) all
+
+let describe = function
+  | Baseline -> "unmodified program (Table I machine)"
+  | Hoist -> "CritIC aggregation only, no 16-bit conversion"
+  | Critic -> "CritIC: hoist + 16-bit Thumb behind a CDP switch (len <= 5)"
+  | Critic_ideal -> "CritIC.Ideal: all chains, hypothetical encodings"
+  | Critic_branches -> "Approach 1: format switch via branch instructions"
+  | Macro_ideal ->
+    "hypothetical macro-instruction ISA extension (one fetch per chain)"
+  | Opp16 -> "opportunistic 16-bit conversion of runs >= 3"
+  | Compress -> "fine-grained Thumb conversion (Krishnaswamy & Gupta)"
+  | Opp16_critic -> "CritIC, then OPP16 on the remaining code"

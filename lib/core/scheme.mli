@@ -1,0 +1,25 @@
+(** The code-generation schemes evaluated in the paper. *)
+
+type t =
+  | Baseline       (** unmodified program *)
+  | Hoist          (** chain aggregation without format conversion
+                       (Sec. IV-D) *)
+  | Critic         (** the proposal: hoist + 16-bit conversion behind a
+                       CDP switch, chains up to length 5 *)
+  | Critic_ideal   (** hypothetical: every CritIC converted, no length
+                       cap (Sec. IV-E) *)
+  | Critic_branches (** Approach 1: switch via explicit branches, runs
+                        on stock hardware (Sec. IV-A) *)
+  | Macro_ideal    (** the rejected ISA-extension design (Sec. III-B):
+                       every chain as one hypothetical macro-instruction
+                       — an upper bound on what chain aggregation could
+                       buy with unlimited encoding space *)
+  | Opp16          (** criticality-agnostic conversion of runs >= 3
+                       (Sec. V) *)
+  | Compress       (** fine-grained Thumb conversion of [78] *)
+  | Opp16_critic   (** CritIC first, then OPP16 on the remainder *)
+
+val all : t list
+val name : t -> string
+val of_string : string -> t option
+val describe : t -> string

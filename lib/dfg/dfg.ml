@@ -1,0 +1,6 @@
+(** Data-flow-graph analysis: the graph itself plus Instruction-Chain
+    (IC) extraction.  [Dfg] re-exports {!Graph} so client code reads
+    [Dfg.of_events], [Dfg.fanout], [Dfg.Ic.enumerate], ... *)
+
+include Graph
+module Ic = Ic

@@ -1,0 +1,101 @@
+type node = {
+  idx : int;
+  event : Prog.Trace.event;
+  mutable preds : int list;
+  mutable succs : int list;
+}
+
+type t = { nodes : node array }
+
+let of_events ?(lo = 0) ?hi events =
+  let hi = Option.value ~default:(Array.length events) hi in
+  if lo < 0 || hi > Array.length events || lo > hi then
+    invalid_arg "Dfg.of_events: bad window";
+  let n = hi - lo in
+  let nodes =
+    Array.init n (fun i ->
+        { idx = i; event = events.(lo + i); preds = []; succs = [] })
+  in
+  (* Most recent in-window writer per architected register. *)
+  let last_writer = Array.make Isa.Reg.count (-1) in
+  Array.iter
+    (fun node ->
+      let ins = node.event.Prog.Trace.instr in
+      List.iter
+        (fun r ->
+          let w = last_writer.(Isa.Reg.index r) in
+          if w >= 0 && not (List.mem w node.preds) then begin
+            node.preds <- w :: node.preds;
+            nodes.(w).succs <- node.idx :: nodes.(w).succs
+          end)
+        (Isa.Instr.regs_read ins);
+      List.iter
+        (fun r -> last_writer.(Isa.Reg.index r) <- node.idx)
+        (Isa.Instr.regs_written ins))
+    nodes;
+  (* Keep successor lists in stream order: handy for deterministic path
+     enumeration. *)
+  Array.iter
+    (fun node ->
+      node.succs <- List.sort_uniq compare node.succs;
+      node.preds <- List.sort_uniq compare node.preds)
+    nodes;
+  { nodes }
+
+let size t = Array.length t.nodes
+let node t i = t.nodes.(i)
+let nodes t = t.nodes
+let fanout t i = List.length t.nodes.(i).succs
+
+let is_high_fanout ?(threshold = 8) t i = fanout t i >= threshold
+
+let roots t =
+  Array.to_list t.nodes
+  |> List.filter_map (fun n -> if n.preds = [] then Some n.idx else None)
+
+let chain_gaps ?(threshold = 8) t =
+  let h = Util.Dist.Histogram.create () in
+  let high i = is_high_fanout ~threshold t i in
+  (* BFS the forward slice of [start] until the first high-fanout node
+     on each path; record the minimum gap found, or -1 when the whole
+     slice is free of high-fanout nodes. *)
+  let nearest_gap start =
+    let visited = Hashtbl.create 16 in
+    let q = Queue.create () in
+    List.iter (fun s -> Queue.add (s, 0) q) t.nodes.(start).succs;
+    let best = ref None in
+    while not (Queue.is_empty q) do
+      let i, gap = Queue.pop q in
+      if not (Hashtbl.mem visited i) then begin
+        Hashtbl.replace visited i true;
+        if high i then begin
+          match !best with
+          | Some b when b <= gap -> ()
+          | _ -> best := Some gap
+        end
+        else
+          List.iter (fun s -> Queue.add (s, gap + 1) q) t.nodes.(i).succs
+      end
+    done;
+    !best
+  in
+  Array.iter
+    (fun n ->
+      if high n.idx then
+        match nearest_gap n.idx with
+        | Some gap -> Util.Dist.Histogram.add h gap
+        | None -> Util.Dist.Histogram.add h (-1))
+    t.nodes;
+  h
+
+let toposort t =
+  (* RAW edges always point forward in the stream, so stream order is a
+     valid topological order; verify the invariant while producing it. *)
+  Array.iter
+    (fun n ->
+      List.iter
+        (fun s ->
+          if s <= n.idx then failwith "Dfg.toposort: backward edge")
+        n.succs)
+    t.nodes;
+  List.init (size t) Fun.id

@@ -1,0 +1,46 @@
+(** Data-flow graphs over windows of the dynamic instruction stream.
+
+    Nodes are dynamic instructions; edges are register RAW dependences
+    (producer → consumer of the most recent write).  Fanout — the number
+    of direct dependents — is the paper's criticality heuristic for
+    individual instructions. *)
+
+type node = {
+  idx : int;               (** index within the window, 0-based *)
+  event : Prog.Trace.event;
+  mutable preds : int list;  (** producers of this node's sources *)
+  mutable succs : int list;  (** direct dependents *)
+}
+
+type t
+
+val of_events : ?lo:int -> ?hi:int -> Prog.Trace.event array -> t
+(** Build the DFG of the half-open window [lo, hi) of the event stream
+    (defaults: the whole array).  Synthetic control events participate
+    (they read registers only through their sources, which is none, so
+    they are isolated nodes), CDP markers are isolated nodes. *)
+
+val size : t -> int
+val node : t -> int -> node
+val nodes : t -> node array
+
+val fanout : t -> int -> int
+(** Out-degree of a node. *)
+
+val is_high_fanout : ?threshold:int -> t -> int -> bool
+(** Fanout at or above [threshold] (default 8). *)
+
+val roots : t -> int list
+(** Nodes without in-window producers. *)
+
+val chain_gaps : ?threshold:int -> t -> Util.Dist.Histogram.t
+(** The Fig. 1b analysis: walking forward dependence paths from each
+    high-fanout node to the *nearest* dependent high-fanout node,
+    histogram the number of low-fanout instructions strictly between
+    them.  Value [-1] records high-fanout nodes whose entire forward
+    slice contains no other high-fanout instruction (the "no dependent
+    critical" category that dominates SPEC). *)
+
+val toposort : t -> int list
+(** Topological order of node indices; raises if the graph is cyclic
+    (it never is for RAW edges over a linear stream). *)

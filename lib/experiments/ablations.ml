@@ -1,0 +1,127 @@
+type point = { label : string; speedup : float }
+
+type result = {
+  threshold : point list;
+  metric : point list;
+  cdp_penalty : point list;
+  iq_size : point list;
+  fetch_queue : point list;
+  wrong_path : point list;
+}
+
+let default_apps () =
+  List.filter_map Workload.Apps.find [ "Acrobat"; "Browser"; "Youtube" ]
+
+let run ?apps h =
+  let apps = match apps with Some a -> a | None -> default_apps () in
+  let mean_over f = Harness.mean (List.map f apps) in
+  let critic_speedup_with_db make_db (app : Workload.Profile.t) =
+    let ctx = Harness.context h app in
+    let base = Harness.stats h app Critics.Scheme.Baseline in
+    let db = make_db ctx in
+    let program =
+      fst (Transform.Critic_pass.apply db ctx.Critics.Run.program)
+    in
+    let st =
+      Pipeline.Cpu.run Pipeline.Config.table_i
+        (Prog.Trace.expand program ~seed:ctx.seed ctx.path)
+    in
+    Critics.Run.speedup ~base st
+  in
+  let threshold =
+    List.map
+      (fun t ->
+        {
+          label = Printf.sprintf "threshold %.0f" t;
+          speedup =
+            mean_over
+              (critic_speedup_with_db (fun ctx ->
+                   Profiler.Profile_run.profile ~threshold:t
+                     ctx.Critics.Run.trace));
+        })
+      [ 2.0; 3.0; 4.0; 6.0; 8.0 ]
+  in
+  let metric =
+    List.map
+      (fun m ->
+        {
+          label = Profiler.Metric.name m;
+          speedup =
+            mean_over
+              (critic_speedup_with_db (fun ctx ->
+                   Profiler.Profile_run.profile ~metric:m
+                     ctx.Critics.Run.trace));
+        })
+      Profiler.Metric.all
+  in
+  let cdp_penalty =
+    List.map
+      (fun p ->
+        let config = { Pipeline.Config.table_i with cdp_decode_penalty = p } in
+        {
+          label = Printf.sprintf "cdp penalty %d" p;
+          speedup =
+            mean_over (fun app ->
+                let base = Harness.stats h app Critics.Scheme.Baseline in
+                Critics.Run.speedup ~base
+                  (Harness.stats h
+                     ~config_name:(Printf.sprintf "cdp%d" p)
+                     ~config app Critics.Scheme.Critic));
+        })
+      [ 0; 1; 2 ]
+  in
+  let machine_point name config =
+    (* Baseline-machine sensitivity, reported as cycle change of the
+       *baseline* scheme on the modified machine. *)
+    {
+      label = name;
+      speedup =
+        mean_over (fun app ->
+            let base = Harness.stats h app Critics.Scheme.Baseline in
+            Critics.Run.speedup ~base
+              (Harness.stats h ~config_name:name ~config app
+                 Critics.Scheme.Baseline));
+    }
+  in
+  let iq_size =
+    List.map
+      (fun iq ->
+        machine_point
+          (Printf.sprintf "iq %d" iq)
+          { Pipeline.Config.table_i with iq })
+      [ 16; 24; 48; 96 ]
+  in
+  let fetch_queue =
+    List.map
+      (fun fq ->
+        machine_point
+          (Printf.sprintf "fetchq %d" fq)
+          { Pipeline.Config.table_i with fetch_queue = fq })
+      [ 8; 16; 24; 48 ]
+  in
+  let wrong_path =
+    [
+      machine_point "wrong-path fetch on"
+        { Pipeline.Config.table_i with wrong_path_fetch = true };
+    ]
+  in
+  { threshold; metric; cdp_penalty; iq_size; fetch_queue; wrong_path }
+
+let render r =
+  let section title points =
+    title ^ "\n"
+    ^ Util.Text_table.render ~header:[ "setting"; "effect" ]
+        (List.map (fun p -> [ p.label; Util.Stats.pct p.speedup ]) points)
+  in
+  String.concat "\n\n"
+    [
+      section "Ablation: CritIC speedup vs criticality threshold" r.threshold;
+      section
+        "Ablation: CritIC speedup vs chain-criticality metric (future work)"
+        r.metric;
+      section "Ablation: CritIC speedup vs CDP decode penalty" r.cdp_penalty;
+      section "Ablation: baseline cycles vs issue-queue size" r.iq_size;
+      section "Ablation: baseline cycles vs fetch-queue depth" r.fetch_queue;
+      section "Ablation: wrong-path fetch modelling (i-cache pollution)"
+        r.wrong_path;
+    ]

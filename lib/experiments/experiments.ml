@@ -1,0 +1,60 @@
+(** Experiment registry: every table and figure of the paper, plus the
+    reproduction's own ablations.  Each module exposes [run] (structured
+    result) and [render]; [run_all] regenerates everything from one
+    shared harness, which is what [bench/main.exe] prints. *)
+
+module Harness = Harness
+module Fig01 = Fig01
+module Fig03 = Fig03
+module Fig05 = Fig05
+module Fig08 = Fig08
+module Fig10 = Fig10
+module Fig11 = Fig11
+module Fig12 = Fig12
+module Fig13 = Fig13
+module Worked_example = Worked_example
+module Tables = Tables
+module Macro_study = Macro_study
+module Ablations = Ablations
+
+type entry = { id : string; title : string; render : Harness.t -> string }
+
+let all : entry list =
+  [
+    { id = "tab1"; title = "Table I: configuration";
+      render = (fun _ -> Tables.table_i ()) };
+    { id = "tab2"; title = "Table II: applications";
+      render = (fun _ -> Tables.table_ii ()) };
+    { id = "fig1"; title = "Fig 1: motivation";
+      render = (fun h -> Fig01.render (Fig01.run h)) };
+    { id = "fig2"; title = "Fig 2/4: worked scheduling example";
+      render = (fun _ -> Worked_example.render (Worked_example.example ())) };
+    { id = "fig3"; title = "Fig 3: stage breakdown";
+      render = (fun h -> Fig03.render (Fig03.run h)) };
+    { id = "fig5"; title = "Fig 5: IC shapes and coverage";
+      render = (fun h -> Fig05.render (Fig05.run h)) };
+    { id = "fig8"; title = "Fig 8: Approach 1 on stock hardware";
+      render = (fun h -> Fig08.render (Fig08.run h)) };
+    { id = "fig10"; title = "Fig 10: speedup and energy";
+      render = (fun h -> Fig10.render (Fig10.run h)) };
+    { id = "fig11"; title = "Fig 11: hardware mechanisms";
+      render = (fun h -> Fig11.render (Fig11.run h)) };
+    { id = "fig12"; title = "Fig 12: sensitivity";
+      render = (fun h -> Fig12.render (Fig12.run h)) };
+    { id = "fig13"; title = "Fig 13: criticality-agnostic conversion";
+      render = (fun h -> Fig13.render (Fig13.run h)) };
+    { id = "macro"; title = "Extension: macro-ISA upper bound";
+      render = (fun h -> Macro_study.render (Macro_study.run h)) };
+    { id = "ablations"; title = "Reproduction ablations";
+      render = (fun h -> Ablations.render (Ablations.run h)) };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let run_all ?(out = print_string) h =
+  List.iter
+    (fun e ->
+      out (Printf.sprintf "\n===== %s — %s =====\n" e.id e.title);
+      out (e.render h);
+      out "\n")
+    all

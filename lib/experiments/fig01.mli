@@ -1,0 +1,32 @@
+(** Fig. 1 — the motivation study.
+
+    (a) Mean speedup from the two conventional single-instruction
+    criticality optimizations — critical-load prefetching [18] and
+    backend (ALU) prioritization [32,33] — on SPEC.int, SPEC.float and
+    the mobile apps, with the fraction of critical instructions on the
+    right axis.  The paper's shape: both help SPEC substantially and
+    mobile barely, although mobile has *more* critical instructions.
+
+    (b) Dependence-chain structure: for each high-fanout instruction,
+    the number of low-fanout instructions to the nearest dependent
+    high-fanout instruction ("none" when its forward slice has no other
+    critical instruction — the dominant SPEC case). *)
+
+type suite_row = {
+  suite : string;
+  prefetch_speedup : float;
+  prioritize_speedup : float;
+  critical_fraction : float;
+}
+
+type gap_row = {
+  suite : string;
+  none : float;           (** no dependent critical instruction *)
+  by_gap : float array;   (** fractions for gaps 0..5 *)
+  more : float;           (** gaps > 5 *)
+}
+
+type result = { rows : suite_row list; gaps : gap_row list }
+
+val run : Harness.t -> result
+val render : result -> string

@@ -1,0 +1,26 @@
+(** Fig. 3 — where critical instructions spend their time.
+
+    (a) Per-stage residency shares of high-fanout (critical)
+    instructions, SPEC vs Android: the paper's observation is that the
+    bottleneck shifts from execute/ROB (SPEC) to the front-end fetch
+    stage (Android).
+
+    (b) The fetch share split into F.StallForI (supply) and
+    F.StallForR+D (drain against back-pressure).
+
+    (c) Latency mix: the fraction of critical instructions that are
+    long-latency (multi-cycle) operations — high in SPEC, low in
+    Android. *)
+
+type row = {
+  suite : string;
+  shares : (string * float) list;  (** per-stage shares, pipeline order *)
+  fetch_i_share : float;
+  fetch_rd_share : float;
+  long_latency_fraction : float;
+}
+
+type result = row list
+
+val run : Harness.t -> result
+val render : result -> string

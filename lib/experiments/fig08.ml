@@ -1,0 +1,36 @@
+type row = { app : string; achieved : float; potential : float }
+
+type result = { rows : row list; mean_achieved : float; mean_potential : float }
+
+let run h =
+  let mobile = List.assoc "Mobile" Harness.suites in
+  let rows =
+    List.map
+      (fun (app : Workload.Profile.t) ->
+        {
+          app = app.name;
+          achieved = Harness.speedup h app Critics.Scheme.Critic_branches;
+          potential = Harness.speedup h app Critics.Scheme.Critic;
+        })
+      mobile
+  in
+  {
+    rows;
+    mean_achieved = Harness.mean (List.map (fun r -> r.achieved) rows);
+    mean_potential = Harness.mean (List.map (fun r -> r.potential) rows);
+  }
+
+let render r =
+  let table =
+    Util.Text_table.render
+      ~header:[ "App"; "Branch switching (actual HW)"; "Lost potential (CDP)" ]
+      (List.map
+         (fun row ->
+           [ row.app; Util.Stats.pct row.achieved; Util.Stats.pct row.potential ])
+         r.rows
+      @ [
+          [ "MEAN"; Util.Stats.pct r.mean_achieved;
+            Util.Stats.pct r.mean_potential ];
+        ])
+  in
+  "Fig 8: CritIC with branch-based format switching\n" ^ table

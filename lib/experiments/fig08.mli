@@ -1,0 +1,16 @@
+(** Fig. 8 — Approach 1 on stock hardware.
+
+    The format switch implemented with explicit branch instructions (a
+    32-bit branch before and a 16-bit branch after each chain) is
+    runnable on current ARM hardware but pays two extra instructions and
+    two fetch-group breaks per chain — far too much for typical
+    length-5 chains to amortize.  The figure compares the achieved
+    speedup against the "lost potential" (what the CDP-based switch of
+    Approach 2 achieves). *)
+
+type row = { app : string; achieved : float; potential : float }
+
+type result = { rows : row list; mean_achieved : float; mean_potential : float }
+
+val run : Harness.t -> result
+val render : result -> string

@@ -1,0 +1,139 @@
+type speedup_row = {
+  app : string;
+  hoist : float;
+  critic : float;
+  ideal : float;
+}
+
+type fetch_row = {
+  app : string;
+  base_fetch_idle : float;
+  critic_fetch_idle : float;
+}
+
+type energy_row = {
+  app : string;
+  cpu_contrib : float;
+  icache_contrib : float;
+  memory_contrib : float;
+  system : float;
+  cpu_only : float;
+}
+
+type result = {
+  speedups : speedup_row list;
+  fetch : fetch_row list;
+  energy : energy_row list;
+}
+
+let fetch_idle_share (s : Pipeline.Stats.t) =
+  float_of_int (s.fetch_idle_supply + s.fetch_idle_backpressure)
+  /. float_of_int (max 1 s.cycles)
+
+let run h =
+  let mobile = List.assoc "Mobile" Harness.suites in
+  let speedups =
+    List.map
+      (fun (app : Workload.Profile.t) ->
+        {
+          app = app.name;
+          hoist = Harness.speedup h app Critics.Scheme.Hoist;
+          critic = Harness.speedup h app Critics.Scheme.Critic;
+          ideal = Harness.speedup h app Critics.Scheme.Critic_ideal;
+        })
+      mobile
+  in
+  let fetch =
+    List.map
+      (fun (app : Workload.Profile.t) ->
+        let base = Harness.stats h app Critics.Scheme.Baseline in
+        let critic = Harness.stats h app Critics.Scheme.Critic in
+        {
+          app = app.name;
+          base_fetch_idle = fetch_idle_share base;
+          critic_fetch_idle = fetch_idle_share critic;
+        })
+      mobile
+  in
+  let energy =
+    List.map
+      (fun (app : Workload.Profile.t) ->
+        let base = Harness.stats h app Critics.Scheme.Baseline in
+        let critic = Harness.stats h app Critics.Scheme.Critic in
+        let s = Critics.Run.energy ~base critic in
+        {
+          app = app.name;
+          cpu_contrib = s.cpu_contrib;
+          icache_contrib = s.icache_contrib;
+          memory_contrib = s.memory_contrib;
+          system = s.system;
+          cpu_only = s.cpu_only;
+        })
+      mobile
+  in
+  { speedups; fetch; energy }
+
+let render r =
+  let pct = Util.Stats.pct in
+  let mean f rows = Harness.mean (List.map f rows) in
+  let a =
+    Util.Text_table.render
+      ~header:[ "App"; "Hoist"; "CritIC"; "CritIC.Ideal" ]
+      (List.map
+         (fun (s : speedup_row) ->
+           [ s.app; pct s.hoist; pct s.critic; pct s.ideal ])
+         r.speedups
+      @ [
+          [
+            "MEAN";
+            pct (mean (fun (s : speedup_row) -> s.hoist) r.speedups);
+            pct (mean (fun (s : speedup_row) -> s.critic) r.speedups);
+            pct (mean (fun (s : speedup_row) -> s.ideal) r.speedups);
+          ];
+        ])
+  in
+  let b =
+    Util.Text_table.render
+      ~header:[ "App"; "fetch idle (base)"; "fetch idle (CritIC)" ]
+      (List.map
+         (fun (f : fetch_row) ->
+           [
+             f.app;
+             Util.Stats.pct f.base_fetch_idle;
+             Util.Stats.pct f.critic_fetch_idle;
+           ])
+         r.fetch)
+  in
+  let c =
+    Util.Text_table.render
+      ~header:[ "App"; "CPU"; "i-cache"; "memory"; "system"; "CPU-only" ]
+      (List.map
+         (fun (e : energy_row) ->
+           [
+             e.app;
+             pct e.cpu_contrib;
+             pct e.icache_contrib;
+             pct e.memory_contrib;
+             pct e.system;
+             pct e.cpu_only;
+           ])
+         r.energy
+      @ [
+          [
+            "MEAN";
+            pct (mean (fun (e : energy_row) -> e.cpu_contrib) r.energy);
+            pct (mean (fun (e : energy_row) -> e.icache_contrib) r.energy);
+            pct (mean (fun (e : energy_row) -> e.memory_contrib) r.energy);
+            pct (mean (fun (e : energy_row) -> e.system) r.energy);
+            pct (mean (fun (e : energy_row) -> e.cpu_only) r.energy);
+          ];
+        ])
+  in
+  let chart =
+    Util.Text_table.bar_chart
+      (List.map (fun (s : speedup_row) -> (s.app, s.critic)) r.speedups)
+  in
+  "Fig 10a: speedup over baseline\n" ^ a ^ "\n\nCritIC speedup per app:\n"
+  ^ chart
+  ^ "\n\nFig 10b: fetch-stage idle share (supply + backpressure)\n" ^ b
+  ^ "\n\nFig 10c: energy gains (contributions to system energy)\n" ^ c

@@ -1,0 +1,46 @@
+(** Fig. 10 — the headline evaluation.
+
+    (a) Per-app CPU speedup of the three design points over the Table I
+    baseline: Hoist (aggregation only), CritIC (hoist + 16-bit CDP
+    switch, chains ≤ 5) and CritIC.Ideal (every chain, hypothetical
+    encodings).
+
+    (b) Fetch-side pressure: the fraction of cycles the fetch stage
+    delivers nothing (supply stalls + back-pressure), baseline vs
+    CritIC — the producer/consumer-side savings.
+
+    (c) System-wide energy gains decomposed into CPU, i-cache and
+    memory contributions, plus the CPU-only saving. *)
+
+type speedup_row = {
+  app : string;
+  hoist : float;
+  critic : float;
+  ideal : float;
+}
+
+type fetch_row = {
+  app : string;
+  base_fetch_idle : float;
+      (** fraction of baseline cycles with an idle fetch stage *)
+  critic_fetch_idle : float;
+      (** same under CritIC, normalized by CritIC cycles *)
+}
+
+type energy_row = {
+  app : string;
+  cpu_contrib : float;
+  icache_contrib : float;
+  memory_contrib : float;
+  system : float;
+  cpu_only : float;
+}
+
+type result = {
+  speedups : speedup_row list;
+  fetch : fetch_row list;
+  energy : energy_row list;
+}
+
+val run : Harness.t -> result
+val render : result -> string

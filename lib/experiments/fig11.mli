@@ -1,0 +1,27 @@
+(** Fig. 11 — CritIC vs (and with) conventional hardware fetch/backend
+    mechanisms (Sec. IV-G).
+
+    Mechanisms: 2×FD (doubled fetch/decode bandwidth, halved i-cache
+    latency), 4×i-cache, EFetch [71], PerfectBr, BackendPrio [33], and
+    AllHW (everything at once).  Each is evaluated alone and combined
+    with the CritIC software transformation; the second table shows how
+    each mechanism moves the two fetch-stall components. *)
+
+type row = {
+  mechanism : string;
+  alone : float;        (** mean mobile speedup *)
+  with_critic : float;
+}
+
+type stall_row = {
+  mechanism : string;
+  supply_delta : float;       (** change in fetch-idle (supply) cycles
+                                  vs baseline, fraction of baseline
+                                  cycles; negative = reduced *)
+  backpressure_delta : float;
+}
+
+type result = { critic_alone : float; rows : row list; stalls : stall_row list }
+
+val run : Harness.t -> result
+val render : result -> string

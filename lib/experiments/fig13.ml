@@ -1,0 +1,49 @@
+type row = {
+  scheme : string;
+  speedup : float;
+  converted_fraction : float;
+}
+
+type result = row list
+
+let schemes =
+  [
+    Critics.Scheme.Opp16;
+    Critics.Scheme.Compress;
+    Critics.Scheme.Critic;
+    Critics.Scheme.Opp16_critic;
+  ]
+
+let run h =
+  let mobile = List.assoc "Mobile" Harness.suites in
+  List.map
+    (fun scheme ->
+      let speedups = List.map (fun app -> Harness.speedup h app scheme) mobile in
+      let fracs =
+        List.map
+          (fun app ->
+            let st = Harness.stats h app scheme in
+            float_of_int st.Pipeline.Stats.thumb_committed
+            /. float_of_int (max 1 st.Pipeline.Stats.committed_total))
+          mobile
+      in
+      {
+        scheme = Critics.Scheme.name scheme;
+        speedup = Harness.mean speedups;
+        converted_fraction = Harness.mean fracs;
+      })
+    schemes
+
+let render rows =
+  let table =
+    Util.Text_table.render
+      ~header:[ "Scheme"; "speedup"; "dynamic instrs converted" ]
+      (List.map
+         (fun r ->
+           [
+             r.scheme; Util.Stats.pct r.speedup;
+             Util.Stats.pct r.converted_fraction;
+           ])
+         rows)
+  in
+  "Fig 13: criticality-agnostic conversion vs CritIC (mobile mean)\n" ^ table

@@ -1,0 +1,20 @@
+(** Fig. 13 — why bother with criticality?
+
+    Compares criticality-agnostic Thumb conversion — OPP16 (any run of
+    ≥ 3 convertible instructions) and Compress (the fine-grained
+    profile-guided conversion of [78]) — against CritIC and the
+    composition OPP16+CritIC.  The second table reports the share of
+    dynamic instructions each scheme converts to the 16-bit format: the
+    paper's point is that CritIC converts far fewer instructions for
+    its benefit. *)
+
+type row = {
+  scheme : string;
+  speedup : float;
+  converted_fraction : float;  (** dynamic instructions in 16-bit form *)
+}
+
+type result = row list
+
+val run : Harness.t -> result
+val render : result -> string

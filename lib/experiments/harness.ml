@@ -1,0 +1,45 @@
+type t = {
+  instrs : int;
+  contexts : (string, Critics.Run.app_context) Hashtbl.t;
+  results : (string, Pipeline.Stats.t) Hashtbl.t;
+}
+
+let create ?(instrs = Critics.Run.default_instrs) () =
+  { instrs; contexts = Hashtbl.create 32; results = Hashtbl.create 256 }
+
+let instrs t = t.instrs
+
+let context t (profile : Workload.Profile.t) =
+  match Hashtbl.find_opt t.contexts profile.name with
+  | Some ctx -> ctx
+  | None ->
+    let ctx = Critics.Run.prepare ~instrs:t.instrs profile in
+    Hashtbl.replace t.contexts profile.name ctx;
+    ctx
+
+let stats t ?(config_name = "table_i") ?config (profile : Workload.Profile.t)
+    scheme =
+  let key =
+    Printf.sprintf "%s/%s/%s" profile.name (Critics.Scheme.name scheme)
+      config_name
+  in
+  match Hashtbl.find_opt t.results key with
+  | Some st -> st
+  | None ->
+    let ctx = context t profile in
+    let st = Critics.Run.stats ?config ctx scheme in
+    Hashtbl.replace t.results key st;
+    st
+
+let speedup t ?config_name ?config profile scheme =
+  let base = stats t profile Critics.Scheme.Baseline in
+  Critics.Run.speedup ~base (stats t ?config_name ?config profile scheme)
+
+let mean = Util.Stats.mean
+
+let suites =
+  [
+    ("Mobile", Workload.Apps.mobile);
+    ("SPEC.int", Workload.Apps.spec_int);
+    ("SPEC.float", Workload.Apps.spec_float);
+  ]

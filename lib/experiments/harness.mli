@@ -1,0 +1,45 @@
+(** Shared experiment harness.
+
+    Prepares each application once (program, path, trace, CritIC
+    database) and memoizes simulation results keyed by
+    (app, scheme, machine configuration), so the figure modules can
+    freely share runs.  All experiments in this library draw from one
+    harness instance; [dune exec bench/main.exe] builds a single harness
+    and regenerates every table and figure from it. *)
+
+type t
+
+val create : ?instrs:int -> unit -> t
+(** [instrs] is the work-instruction budget per application run
+    (default {!Critics.Run.default_instrs}). *)
+
+val instrs : t -> int
+
+val context : t -> Workload.Profile.t -> Critics.Run.app_context
+(** Cached per-application context. *)
+
+val stats :
+  t ->
+  ?config_name:string ->
+  ?config:Pipeline.Config.t ->
+  Workload.Profile.t ->
+  Critics.Scheme.t ->
+  Pipeline.Stats.t
+(** Cached simulation.  [config_name] must uniquely identify [config]
+    when a non-default configuration is passed (it is the memoization
+    key). *)
+
+val speedup :
+  t ->
+  ?config_name:string ->
+  ?config:Pipeline.Config.t ->
+  Workload.Profile.t ->
+  Critics.Scheme.t ->
+  float
+(** Speedup of (scheme, config) over (Baseline, default config) for the
+    same application and work. *)
+
+val mean : float list -> float
+
+val suites : (string * Workload.Profile.t list) list
+(** [("Mobile", ...); ("SPEC.int", ...); ("SPEC.float", ...)]. *)

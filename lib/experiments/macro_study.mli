@@ -1,0 +1,31 @@
+(** Extension study — the macro-instruction road not taken.
+
+    Sec. III-B argues that turning each CritIC into a dedicated
+    macro-instruction is impractical because the number of unique CritIC
+    sequences (opcode+operands) is enormous — "even 10^6 per app" — and
+    proposes the CDP/Thumb mechanism instead.  This experiment
+    quantifies both halves of that argument on our workloads:
+
+    - the unique-sequence counts that an ISA extension or dedicated
+      hardware table would have to cover;
+    - the speedup of a hypothetical macro ISA ([Scheme.Macro_ideal]:
+      every chain fetched as one instruction, no encoding limits)
+      against CritIC's achieved speedup — i.e. how much of the
+      unconstrained upper bound the practical mechanism captures. *)
+
+type row = {
+  app : string;
+  unique_sequences : int;  (** distinct structural chain keys *)
+  static_sites : int;
+  critic : float;          (** CritIC speedup *)
+  macro : float;           (** hypothetical macro-ISA speedup *)
+}
+
+type result = {
+  rows : row list;
+  mean_critic : float;
+  mean_macro : float;
+}
+
+val run : Harness.t -> result
+val render : result -> string

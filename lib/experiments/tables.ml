@@ -1,0 +1,6 @@
+let table_i () =
+  "Table I: baseline simulation configuration\n"
+  ^ Util.Text_table.render_kv (Pipeline.Config.describe Pipeline.Config.table_i)
+
+let table_ii () =
+  "Table II: evaluated applications\n" ^ Workload.Apps.table_ii ()

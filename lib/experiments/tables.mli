@@ -1,0 +1,7 @@
+(** Tables I and II of the paper. *)
+
+val table_i : unit -> string
+(** The baseline simulated configuration. *)
+
+val table_ii : unit -> string
+(** The evaluated applications. *)

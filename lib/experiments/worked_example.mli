@@ -1,0 +1,33 @@
+(** Figs. 2 and 4 — the worked scheduling examples.
+
+    A small list scheduler over an explicit dependence graph shows why
+    instruction-level fanout prioritization is insufficient: a chain of
+    individually low-fanout instructions that leads to a high-fanout
+    instruction must be prioritized *as a chain*.  [compare] schedules
+    the same DFG on a 2-wide machine under both policies. *)
+
+type schedule = {
+  cycles : int;
+  order : (int * int list) list;  (** cycle -> instructions issued *)
+}
+
+val schedule :
+  ?width:int ->
+  preds:int list array ->
+  priority:(int -> int) ->
+  unit ->
+  schedule
+(** Unit-latency list scheduling: each cycle issues up to [width] ready
+    instructions, highest [priority] first (ties to the lower index). *)
+
+type comparison = {
+  fanout_first : schedule;
+  chain_first : schedule;
+  saved_cycles : int;
+}
+
+val example : unit -> comparison
+(** The bundled Fig. 2/4-style DFG: a fanout tree competing with a
+    critical chain whose members are individually low-fanout. *)
+
+val render : comparison -> string

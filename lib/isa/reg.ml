@@ -1,0 +1,17 @@
+type t = int
+
+let count = 16
+let thumb_limit = 10
+
+let r i =
+  if i < 0 || i >= count then invalid_arg "Reg.r: index out of range";
+  i
+
+let index t = t
+let sp = 13
+let lr = 14
+let pc = 15
+let thumb_addressable t = t <= thumb_limit
+let pp fmt t = Format.fprintf fmt "r%d" t
+let equal = Int.equal
+let compare = Int.compare

@@ -1,0 +1,39 @@
+(** Architected registers of the modelled ARM-flavoured ISA.
+
+    The 32-bit format can name all sixteen registers R0..R15; the 16-bit
+    Thumb format can only name the low registers R0..R10 (eleven
+    registers), which is one of the two constraints that decide whether a
+    CritIC instruction is Thumb-convertible (the other being
+    predication). *)
+
+type t = private int
+(** A register index in [0, 15]. *)
+
+val r : int -> t
+(** [r i] is register Ri.  Raises [Invalid_argument] outside [0, 15]. *)
+
+val index : t -> int
+
+val sp : t
+(** R13, the stack pointer. *)
+
+val lr : t
+(** R14, the link register. *)
+
+val pc : t
+(** R15, the program counter. *)
+
+val count : int
+(** Number of architected registers (16). *)
+
+val thumb_limit : int
+(** Highest register index addressable by the 16-bit format (10): the
+    Thumb operand fields are 3–4 bits wide, giving 11 usable registers. *)
+
+val thumb_addressable : t -> bool
+(** Whether the register fits in a Thumb operand field. *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+val compare : t -> t -> int

@@ -1,0 +1,163 @@
+type stats = {
+  accesses : int;
+  hits : int;
+  misses : int;
+  fills : int;
+  prefetch_fills : int;
+  writebacks : int;
+}
+
+type t = {
+  name : string;
+  line_bytes : int;
+  line_shift : int;
+  sets : int;
+  assoc : int;
+  tags : int array array;     (* tags.(set).(way); -1 = invalid *)
+  recency : int array array;  (* larger = more recently used *)
+  dirty : bool array array;
+  mutable clock : int;
+  mutable accesses : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable fills : int;
+  mutable prefetch_fills : int;
+  mutable writebacks : int;
+}
+
+let is_pow2 x = x > 0 && x land (x - 1) = 0
+
+let log2 x =
+  let rec go i v = if v <= 1 then i else go (i + 1) (v lsr 1) in
+  go 0 x
+
+let create ~name ~size_bytes ~assoc ~line_bytes =
+  if not (is_pow2 line_bytes) then
+    invalid_arg "Cache.create: line_bytes must be a power of two";
+  if assoc <= 0 then invalid_arg "Cache.create: assoc must be positive";
+  if size_bytes mod (assoc * line_bytes) <> 0 then
+    invalid_arg "Cache.create: size not divisible by assoc * line";
+  let sets = size_bytes / (assoc * line_bytes) in
+  {
+    name;
+    line_bytes;
+    line_shift = log2 line_bytes;
+    sets;
+    assoc;
+    tags = Array.init sets (fun _ -> Array.make assoc (-1));
+    recency = Array.init sets (fun _ -> Array.make assoc 0);
+    dirty = Array.init sets (fun _ -> Array.make assoc false);
+    clock = 0;
+    accesses = 0;
+    hits = 0;
+    misses = 0;
+    fills = 0;
+    prefetch_fills = 0;
+    writebacks = 0;
+  }
+
+let name t = t.name
+let line_bytes t = t.line_bytes
+let sets t = t.sets
+let assoc t = t.assoc
+let line_of t addr = addr land lnot (t.line_bytes - 1)
+
+let set_and_tag t addr =
+  let line = addr lsr t.line_shift in
+  (line mod t.sets, line / t.sets)
+
+let find_way t set tag =
+  let ways = t.tags.(set) in
+  let rec go i =
+    if i >= t.assoc then None else if ways.(i) = tag then Some i else go (i + 1)
+  in
+  go 0
+
+let touch t set way =
+  t.clock <- t.clock + 1;
+  t.recency.(set).(way) <- t.clock
+
+let victim_way t set =
+  let rec go i best =
+    if i >= t.assoc then best
+    else if t.tags.(set).(i) = -1 then i
+    else if t.recency.(set).(i) < t.recency.(set).(best) then go (i + 1) i
+    else go (i + 1) best
+  in
+  go 1 0
+
+(* Install a tag, returning the victim line (address, dirty) if a valid
+   line was displaced. *)
+let install t set tag =
+  let way = victim_way t set in
+  let old_tag = t.tags.(set).(way) in
+  let victim =
+    if old_tag = -1 then None
+    else begin
+      let addr = ((old_tag * t.sets) + set) lsl t.line_shift in
+      let was_dirty = t.dirty.(set).(way) in
+      if was_dirty then t.writebacks <- t.writebacks + 1;
+      Some (addr, was_dirty)
+    end
+  in
+  t.tags.(set).(way) <- tag;
+  t.dirty.(set).(way) <- false;
+  touch t set way;
+  (way, victim)
+
+let access_evict ?(write = false) t addr =
+  let set, tag = set_and_tag t addr in
+  t.accesses <- t.accesses + 1;
+  match find_way t set tag with
+  | Some way ->
+    t.hits <- t.hits + 1;
+    touch t set way;
+    if write then t.dirty.(set).(way) <- true;
+    (true, None)
+  | None ->
+    t.misses <- t.misses + 1;
+    t.fills <- t.fills + 1;
+    let way, victim = install t set tag in
+    if write then t.dirty.(set).(way) <- true;
+    (false, victim)
+
+let access ?write t addr = fst (access_evict ?write t addr)
+
+let probe t addr =
+  let set, tag = set_and_tag t addr in
+  find_way t set tag <> None
+
+let fill t addr =
+  let set, tag = set_and_tag t addr in
+  match find_way t set tag with
+  | Some way -> touch t set way
+  | None ->
+    t.fills <- t.fills + 1;
+    t.prefetch_fills <- t.prefetch_fills + 1;
+    ignore (install t set tag)
+
+let invalidate_all t =
+  Array.iter (fun ways -> Array.fill ways 0 t.assoc (-1)) t.tags;
+  Array.iter (fun d -> Array.fill d 0 t.assoc false) t.dirty
+
+let stats t =
+  {
+    accesses = t.accesses;
+    hits = t.hits;
+    misses = t.misses;
+    fills = t.fills;
+    prefetch_fills = t.prefetch_fills;
+    writebacks = t.writebacks;
+  }
+
+let reset_stats t =
+  t.accesses <- 0;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.fills <- 0;
+  t.prefetch_fills <- 0;
+  t.writebacks <- 0
+
+let miss_rate t =
+  if t.accesses = 0 then 0.0
+  else float_of_int t.misses /. float_of_int t.accesses

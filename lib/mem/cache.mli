@@ -1,0 +1,52 @@
+(** Set-associative cache with true-LRU replacement.
+
+    Tag state only — no data are stored, since the simulator never
+    interprets values.  Access counters feed both the performance model
+    (miss stalls) and the energy model (per-access energies). *)
+
+type t
+
+type stats = {
+  accesses : int;
+  hits : int;
+  misses : int;
+  fills : int;
+  prefetch_fills : int;
+  writebacks : int;  (** dirty lines evicted *)
+}
+
+val create :
+  name:string -> size_bytes:int -> assoc:int -> line_bytes:int -> t
+(** Geometry must be consistent: [size_bytes] divisible by
+    [assoc * line_bytes], and [line_bytes] a power of two. *)
+
+val name : t -> string
+val line_bytes : t -> int
+val sets : t -> int
+val assoc : t -> int
+
+val line_of : t -> int -> int
+(** Line-aligned address of the line containing the byte address. *)
+
+val access : ?write:bool -> t -> int -> bool
+(** [access c addr] looks up the line; on a miss it fills it.  Returns
+    [true] on hit.  Updates recency and counters; [write] (default
+    false) marks the line dirty. *)
+
+val access_evict : ?write:bool -> t -> int -> bool * (int * bool) option
+(** Like {!access}, also reporting the victim when the fill evicted a
+    valid line: [(line_address, was_dirty)].  Dirty evictions are what
+    the next level must absorb as writebacks. *)
+
+val probe : t -> int -> bool
+(** Lookup without any state change or counting. *)
+
+val fill : t -> int -> unit
+(** Install a line (e.g. a prefetch) without counting an access. *)
+
+val invalidate_all : t -> unit
+val stats : t -> stats
+val reset_stats : t -> unit
+
+val miss_rate : t -> float
+(** Misses per access; 0 when never accessed. *)

@@ -1,0 +1,198 @@
+type config = {
+  line_bytes : int;
+  l1i_size : int;
+  l1i_assoc : int;
+  l1i_hit : int;
+  l1d_size : int;
+  l1d_assoc : int;
+  l1d_hit : int;
+  l2_size : int;
+  l2_assoc : int;
+  l2_hit : int;
+  l2_prefetcher : bool;
+  l1i_next_line : bool;
+  dram : Dram.config;
+}
+
+let table_i =
+  {
+    line_bytes = 64;
+    l1i_size = 32 * 1024;
+    l1i_assoc = 2;
+    l1i_hit = 2;
+    l1d_size = 64 * 1024;
+    l1d_assoc = 4;
+    l1d_hit = 2;
+    l2_size = 2 * 1024 * 1024;
+    l2_assoc = 8;
+    l2_hit = 10;
+    l2_prefetcher = true;
+    l1i_next_line = true;
+    dram = Dram.default_config;
+  }
+
+type level = L1 | L2 | Main
+
+type outcome = { level : level; latency : int }
+
+type t = {
+  config : config;
+  l1i : Cache.t;
+  l1d : Cache.t;
+  l2 : Cache.t;
+  dram : Dram.t;
+  prefetcher : Stride_prefetcher.t option;
+  (* In-flight fills per cache: line address -> cycle the line becomes
+     usable.  Entries are installed by prefetches and consumed (or
+     expired) by demand accesses. *)
+  pending_l1i : (int, int) Hashtbl.t;
+  pending_l1d : (int, int) Hashtbl.t;
+  pending_l2 : (int, int) Hashtbl.t;
+}
+
+let create config =
+  {
+    config;
+    l1i =
+      Cache.create ~name:"l1i" ~size_bytes:config.l1i_size
+        ~assoc:config.l1i_assoc ~line_bytes:config.line_bytes;
+    l1d =
+      Cache.create ~name:"l1d" ~size_bytes:config.l1d_size
+        ~assoc:config.l1d_assoc ~line_bytes:config.line_bytes;
+    l2 =
+      Cache.create ~name:"l2" ~size_bytes:config.l2_size
+        ~assoc:config.l2_assoc ~line_bytes:config.line_bytes;
+    dram = Dram.create ~config:config.dram ();
+    prefetcher =
+      (if config.l2_prefetcher then Some (Stride_prefetcher.create ())
+       else None);
+    pending_l1i = Hashtbl.create 64;
+    pending_l1d = Hashtbl.create 64;
+    pending_l2 = Hashtbl.create 64;
+  }
+
+let config t = t.config
+
+(* If a prefetch for [line] is in flight, the demand access waits for the
+   remaining cycles instead of redoing the whole miss path. *)
+let pending_wait pending cache ~now line =
+  match Hashtbl.find_opt pending line with
+  | None -> None
+  | Some ready ->
+    Hashtbl.remove pending line;
+    Cache.fill cache line;
+    Some (max 0 (ready - now))
+
+(* A dirty line displaced from the L2 drains to DRAM through the write
+   buffer: it consumes DRAM bandwidth but is off the load's critical
+   path, so no latency is charged to the demand access. *)
+let absorb_l2_victim t ~now = function
+  | Some (addr, true) -> ignore (Dram.access t.dram ~now ~write:true addr)
+  | Some (_, false) | None -> ()
+
+(* L2 lookup (with DRAM fallback) shared by both L1 miss paths.
+   Returns (level, cycles beyond the L1 hit time). *)
+let l2_path t ~now ~write line =
+  let c = t.config in
+  match pending_wait t.pending_l2 t.l2 ~now line with
+  | Some wait -> (L2, c.l2_hit + wait)
+  | None ->
+    let hit, victim = Cache.access_evict t.l2 line in
+    absorb_l2_victim t ~now victim;
+    if hit then (L2, c.l2_hit)
+    else
+      let dram_lat =
+        Dram.access t.dram ~now:(now + c.l2_hit) ~write line
+      in
+      (Main, c.l2_hit + dram_lat)
+
+(* A dirty L1d victim writes back into the L2 (again off the critical
+   path); the L2 may in turn displace a dirty line of its own. *)
+let absorb_l1d_victim t ~now = function
+  | Some (addr, true) ->
+    let _, victim = Cache.access_evict ~write:true t.l2 addr in
+    absorb_l2_victim t ~now victim
+  | Some (_, false) | None -> ()
+
+let train_prefetcher t ~now ~pc line =
+  match t.prefetcher with
+  | None -> ()
+  | Some p ->
+    let addrs = Stride_prefetcher.observe p ~pc ~addr:line in
+    List.iter
+      (fun addr ->
+        let pline = Cache.line_of t.l2 addr in
+        if
+          (not (Cache.probe t.l2 pline))
+          && not (Hashtbl.mem t.pending_l2 pline)
+        then begin
+          let lat = Dram.access t.dram ~now ~write:false pline in
+          Hashtbl.replace t.pending_l2 pline (now + lat)
+        end)
+      addrs
+
+let demand_access t ~now ~pc ~write ~l1 ~l1_hit ~pending addr =
+  let line = Cache.line_of l1 addr in
+  let is_data = l1 == t.l1d in
+  let absorb victim = if is_data then absorb_l1d_victim t ~now victim in
+  match pending_wait pending l1 ~now line with
+  | Some wait ->
+    let _, victim = Cache.access_evict ~write l1 line in
+    absorb victim;
+    { level = L1; latency = l1_hit + wait }
+  | None ->
+    let hit, victim = Cache.access_evict ~write l1 line in
+    absorb victim;
+    if hit then { level = L1; latency = l1_hit }
+    else begin
+      let level, beyond = l2_path t ~now ~write:false line in
+      if level = Main then train_prefetcher t ~now ~pc line;
+      { level; latency = l1_hit + beyond }
+    end
+
+let prefetch ~l1 ~pending t ~now ~write addr =
+  let line = Cache.line_of l1 addr in
+  if (not (Cache.probe l1 line)) && not (Hashtbl.mem pending line) then begin
+    let _, beyond = l2_path t ~now ~write line in
+    Hashtbl.replace pending line (now + beyond)
+  end
+
+let ifetch t ~now addr =
+  let o =
+    demand_access t ~now ~pc:addr ~write:false ~l1:t.l1i
+      ~l1_hit:t.config.l1i_hit ~pending:t.pending_l1i addr
+  in
+  if t.config.l1i_next_line then
+    prefetch ~l1:t.l1i ~pending:t.pending_l1i t ~now ~write:false
+      (addr + t.config.line_bytes);
+  o
+
+let dread t ~now ~pc addr =
+  demand_access t ~now ~pc ~write:false ~l1:t.l1d ~l1_hit:t.config.l1d_hit
+    ~pending:t.pending_l1d addr
+
+let dwrite t ~now ~pc addr =
+  demand_access t ~now ~pc ~write:true ~l1:t.l1d ~l1_hit:t.config.l1d_hit
+    ~pending:t.pending_l1d addr
+
+let prefetch_i t ~now addr =
+  prefetch ~l1:t.l1i ~pending:t.pending_l1i t ~now ~write:false addr
+
+let prefetch_d t ~now ~pc addr =
+  ignore pc;
+  prefetch ~l1:t.l1d ~pending:t.pending_l1d t ~now ~write:false addr
+
+let touch_i t addr =
+  let line = Cache.line_of t.l1i addr in
+  Cache.fill t.l1i line;
+  Cache.fill t.l2 line
+
+let touch_d t addr =
+  let line = Cache.line_of t.l1d addr in
+  Cache.fill t.l1d line;
+  Cache.fill t.l2 line
+
+let l1i_stats t = Cache.stats t.l1i
+let l1d_stats t = Cache.stats t.l1d
+let l2_stats t = Cache.stats t.l2
+let dram_stats t = Dram.stats t.dram

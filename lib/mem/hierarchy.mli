@@ -1,0 +1,70 @@
+(** The full memory hierarchy of the simulated SoC: split L1 (i-cache /
+    d-cache), unified L2 with the CLPT stride prefetcher, and LPDDR3
+    DRAM.  Latencies are returned to the pipeline; access counts feed the
+    energy model.
+
+    Prefetches fill asynchronously: a prefetched line becomes usable only
+    once its miss path would have completed, and a demand access arriving
+    earlier pays the remaining cycles. *)
+
+type t
+
+type config = {
+  line_bytes : int;
+  l1i_size : int;
+  l1i_assoc : int;
+  l1i_hit : int;   (** i-cache hit latency, cycles *)
+  l1d_size : int;
+  l1d_assoc : int;
+  l1d_hit : int;
+  l2_size : int;
+  l2_assoc : int;
+  l2_hit : int;
+  l2_prefetcher : bool;  (** the CLPT stride prefetcher of Table I *)
+  l1i_next_line : bool;
+      (** next-line instruction prefetch on i-cache accesses — standard
+          on the Cortex-class cores the paper targets *)
+  dram : Dram.config;
+}
+
+val table_i : config
+(** Table I baseline: 2-way 32 KB i-cache and 64 KB d-cache with 2-cycle
+    hits; 8-way 2 MB L2 with 10-cycle hits and the CLPT prefetcher;
+    LPDDR3 DRAM. *)
+
+type level = L1 | L2 | Main
+
+type outcome = { level : level; latency : int }
+(** [level] is where the demand access was served; [latency] is the
+    total cycles until data return. *)
+
+val create : config -> t
+val config : t -> config
+
+val ifetch : t -> now:int -> int -> outcome
+(** Instruction fetch of the line containing the address. *)
+
+val dread : t -> now:int -> pc:int -> int -> outcome
+(** Demand data read ([pc] trains the L2 prefetcher). *)
+
+val dwrite : t -> now:int -> pc:int -> int -> outcome
+
+val prefetch_i : t -> now:int -> int -> unit
+(** Start an instruction-side prefetch into the i-cache (EFetch). *)
+
+val prefetch_d : t -> now:int -> pc:int -> int -> unit
+(** Start a data-side prefetch into the d-cache (critical-load
+    prefetching baseline). *)
+
+val touch_i : t -> int -> unit
+(** Install the line containing the address into i-cache and L2 without
+    counting statistics — used to warm the hierarchy to steady state
+    before measurement (the paper measures minutes-old app executions,
+    not cold starts). *)
+
+val touch_d : t -> int -> unit
+
+val l1i_stats : t -> Cache.stats
+val l1d_stats : t -> Cache.stats
+val l2_stats : t -> Cache.stats
+val dram_stats : t -> Dram.stats

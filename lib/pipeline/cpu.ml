@@ -1,0 +1,533 @@
+type slot = {
+  ev : Prog.Trace.event;
+  mutable fetch_request : int; (* cycle the fetch engine first reached it *)
+  mutable stall_i : int;       (* supply-side stall cycles while fetch head *)
+  mutable stall_bp : int;      (* backpressure stall cycles while fetch head *)
+  mutable fetched : int;
+  mutable decoded : int;
+  mutable renamed : int;
+  mutable issued : int;
+  mutable completed : int;
+  mutable committed : int;
+  mutable waiting_on : int;    (* unresolved producers *)
+  mutable ready_time : int;    (* earliest issue cycle *)
+  mutable dependents : slot list;
+  mutable fanout : int;        (* consumers renamed before our commit *)
+  mutable in_iq : bool;
+}
+
+type acc = {
+  mutable count : int;
+  mutable fetch_i : int;
+  mutable fetch_rd : int;
+  mutable decode : int;
+  mutable rename : int;
+  mutable issue_wait : int;
+  mutable execute : int;
+  mutable commit_wait : int;
+}
+
+let new_acc () =
+  {
+    count = 0;
+    fetch_i = 0;
+    fetch_rd = 0;
+    decode = 0;
+    rename = 0;
+    issue_wait = 0;
+    execute = 0;
+    commit_wait = 0;
+  }
+
+let acc_to_summary a : Stats.stage_summary =
+  {
+    count = a.count;
+    fetch_i = a.fetch_i;
+    fetch_rd = a.fetch_rd;
+    decode = a.decode;
+    rename = a.rename;
+    issue_wait = a.issue_wait;
+    execute = a.execute;
+    commit_wait = a.commit_wait;
+  }
+
+let run ?(warm = true) (cfg : Config.t) (trace : Prog.Trace.t) : Stats.t =
+  let n = Array.length trace in
+  let slots =
+    Array.map
+      (fun ev ->
+        {
+          ev;
+          fetch_request = -1;
+          stall_i = 0;
+          stall_bp = 0;
+          fetched = -1;
+          decoded = -1;
+          renamed = -1;
+          issued = -1;
+          completed = -1;
+          committed = -1;
+          waiting_on = 0;
+          ready_time = 0;
+          dependents = [];
+          fanout = 0;
+          in_iq = false;
+        })
+      trace
+  in
+  let hier = Mem.Hierarchy.create cfg.mem in
+  (* Warm the memory hierarchy to steady state: replay the trace's
+     footprint through the caches (LRU order, no cost, no stats).  The
+     paper samples minutes-old executions, so cold-start misses are not
+     part of what any configuration should be charged for. *)
+  if warm then
+    Array.iter
+      (fun (e : Prog.Trace.event) ->
+        Mem.Hierarchy.touch_i hier e.pc;
+        if e.mem_addr >= 0 then Mem.Hierarchy.touch_d hier e.mem_addr)
+      trace;
+  let bpu = Bpu.Predictor.create cfg.bpu in
+  let crit_table =
+    Criticality_table.create ~threshold:cfg.fanout_critical_threshold ()
+  in
+  let efetch = Efetch.create () in
+
+  (* Queues between stages. *)
+  let fetch_q : slot Queue.t = Queue.create () in
+  let decode_q : slot Queue.t = Queue.create () in
+  let rob : slot Queue.t = Queue.create () in
+  let iq : slot list ref = ref [] in
+  let iq_size = ref 0 in
+
+  (* Completion calendar: cycle -> slots finishing then. *)
+  let calendar : (int, slot list) Hashtbl.t = Hashtbl.create 1024 in
+  let schedule_completion s cycle =
+    s.completed <- cycle;
+    let prev = Option.value ~default:[] (Hashtbl.find_opt calendar cycle) in
+    Hashtbl.replace calendar cycle (s :: prev)
+  in
+
+  (* Register rename: last in-flight (or most recent) writer per reg. *)
+  let rename_table : slot option array = Array.make Isa.Reg.count None in
+
+  (* Fetch engine state. *)
+  let fetch_idx = ref 0 in
+  let fetch_resume_at = ref 0 in
+  let cur_line = ref (-1) in
+  let pending_mispredict : slot option ref = ref None in
+  let decode_block_until = ref 0 in
+
+  (* Machine-level idle-fetch counters. *)
+  let idle_supply = ref 0 in
+  let idle_backpressure = ref 0 in
+  (* Stall cycles accumulated since the last successful fetch cycle;
+     attributed to the instructions of the next fetched group, which are
+     the ones that were held at the fetch stage during the stall. *)
+  let pending_stall_i = ref 0 in
+  let pending_stall_bp = ref 0 in
+
+  (* Functional units. *)
+  let div_busy_until = ref 0 in
+
+  (* Retirement counters. *)
+  let committed_total = ref 0 in
+  let committed_work = ref 0 in
+  let thumb_committed = ref 0 in
+  let cdp_markers = ref 0 in
+  let critical_count = ref 0 in
+  let acc_all = new_acc () in
+  let acc_crit = new_acc () in
+  let acc_chain = new_acc () in
+
+  let line_of pc = pc land lnot (cfg.mem.line_bytes - 1) in
+
+  let is_critical s = s.fanout >= cfg.fanout_critical_threshold in
+
+  let record acc (s : slot) =
+    acc.count <- acc.count + 1;
+    acc.fetch_i <- acc.fetch_i + s.stall_i;
+    acc.fetch_rd <- acc.fetch_rd + s.stall_bp + max 0 (s.decoded - s.fetched - 1);
+    acc.decode <- acc.decode + max 0 (s.renamed - s.decoded);
+    acc.rename <- acc.rename + 1;
+    acc.issue_wait <- acc.issue_wait + max 0 (s.issued - s.renamed - 1);
+    acc.execute <- acc.execute + max 0 (s.completed - s.issued);
+    acc.commit_wait <- acc.commit_wait + max 0 (s.committed - s.completed)
+  in
+
+  let retire now (s : slot) =
+    s.committed <- now;
+    incr committed_total;
+    (* Work accounting mirrors Trace.work_count. *)
+    let is_work =
+      s.ev.instr.opcode <> Isa.Opcode.Cdp_switch
+      && (s.ev.instr.uid >= Prog.Trace.control_uid_base
+          || not (Isa.Opcode.is_control s.ev.instr.opcode))
+    in
+    if is_work then incr committed_work;
+    if s.ev.instr.encoding = Isa.Instr.Thumb16 then incr thumb_committed;
+    Criticality_table.train crit_table ~pc:s.ev.pc ~fanout:s.fanout;
+    record acc_all s;
+    if is_critical s then begin
+      incr critical_count;
+      record acc_crit s
+    end;
+    if s.ev.instr.chain <> None then record acc_chain s
+  in
+
+  (* ---------------- pipeline stages, one call each per cycle ------- *)
+
+  let do_commit now =
+    let budget = ref cfg.width in
+    let continue = ref true in
+    while !continue && !budget > 0 && not (Queue.is_empty rob) do
+      let s = Queue.peek rob in
+      if s.completed >= 0 && s.completed <= now then begin
+        ignore (Queue.pop rob);
+        if s.ev.instr.opcode = Isa.Opcode.Store && s.ev.mem_addr >= 0 then
+          ignore (Mem.Hierarchy.dwrite hier ~now ~pc:s.ev.pc s.ev.mem_addr);
+        retire now s;
+        decr budget
+      end
+      else continue := false
+    done
+  in
+
+  let do_completions now =
+    match Hashtbl.find_opt calendar now with
+    | None -> ()
+    | Some finished ->
+      Hashtbl.remove calendar now;
+      List.iter
+        (fun s ->
+          List.iter
+            (fun dep ->
+              dep.waiting_on <- dep.waiting_on - 1;
+              if dep.ready_time < now then dep.ready_time <- now)
+            s.dependents;
+          s.dependents <- [])
+        finished
+  in
+
+  let unit_available now (op : Isa.Opcode.t) ~alu ~mul ~mem ~fp ~br =
+    match Isa.Opcode.unit_kind op with
+    | `Int_alu -> !alu < cfg.int_alus
+    | `Int_mul ->
+      !mul < cfg.mul_units
+      && (op <> Isa.Opcode.Div || now >= !div_busy_until)
+    | `Mem -> !mem < cfg.mem_ports
+    | `Fp -> !fp < cfg.fp_units
+    | `Branch -> !br < cfg.branch_units
+    | `None -> true
+  in
+
+  let consume_unit now (op : Isa.Opcode.t) ~alu ~mul ~mem ~fp ~br =
+    (match Isa.Opcode.unit_kind op with
+    | `Int_alu -> incr alu
+    | `Int_mul ->
+      incr mul;
+      if op = Isa.Opcode.Div then
+        div_busy_until := now + Isa.Opcode.exec_latency Isa.Opcode.Div
+    | `Mem -> incr mem
+    | `Fp -> incr fp
+    | `Branch -> incr br
+    | `None -> ())
+  in
+
+  let issue_one now (s : slot) =
+    s.issued <- now;
+    s.in_iq <- false;
+    let completion =
+      match s.ev.instr.opcode with
+      | Isa.Opcode.Load when s.ev.mem_addr >= 0 ->
+        let o = Mem.Hierarchy.dread hier ~now ~pc:s.ev.pc s.ev.mem_addr in
+        now + 1 + o.latency
+      | Isa.Opcode.Store -> now + 1
+      | op -> now + Isa.Opcode.exec_latency op
+    in
+    schedule_completion s completion
+  in
+
+  let do_issue now =
+    let alu = ref 0 and mul = ref 0 and mem = ref 0 and fp = ref 0 in
+    let br = ref 0 in
+    let issued = ref 0 in
+    let try_issue s =
+      if
+        !issued < cfg.width && s.in_iq && s.waiting_on = 0
+        && now >= s.ready_time
+        && unit_available now s.ev.instr.opcode ~alu ~mul ~mem ~fp ~br
+      then begin
+        consume_unit now s.ev.instr.opcode ~alu ~mul ~mem ~fp ~br;
+        issue_one now s;
+        incr issued
+      end
+    in
+    (match cfg.issue_policy with
+    | Config.Oldest_first -> List.iter try_issue !iq
+    | Config.Critical_first ->
+      let critical, rest =
+        List.partition
+          (fun s -> Criticality_table.predict crit_table ~pc:s.ev.pc)
+          !iq
+      in
+      List.iter try_issue critical;
+      List.iter try_issue rest);
+    if !issued > 0 then begin
+      iq := List.filter (fun s -> s.in_iq) !iq;
+      iq_size := List.length !iq
+    end
+  in
+
+  let do_rename now =
+    let budget = ref cfg.width in
+    let continue = ref true in
+    while
+      !continue && !budget > 0
+      && (not (Queue.is_empty decode_q))
+      && Queue.length rob < cfg.rob
+      && !iq_size < cfg.iq
+    do
+      let s = Queue.peek decode_q in
+      if s.decoded >= 0 && s.decoded < now then begin
+        ignore (Queue.pop decode_q);
+        s.renamed <- now;
+        s.ready_time <- now + 1;
+        let seen = ref [] in
+        List.iter
+          (fun r ->
+            match rename_table.(Isa.Reg.index r) with
+            | Some producer when producer != s ->
+              if not (List.memq producer !seen) then begin
+                seen := producer :: !seen;
+                if producer.committed < 0 then
+                  producer.fanout <- producer.fanout + 1;
+                if producer.completed < 0 then begin
+                  (* completion time unknown: wait for wake-up *)
+                  producer.dependents <- s :: producer.dependents;
+                  s.waiting_on <- s.waiting_on + 1
+                end
+                else if producer.completed > now then begin
+                  if producer.completed > s.ready_time then
+                    s.ready_time <- producer.completed
+                end
+              end
+            | _ -> ())
+          (Isa.Instr.regs_read s.ev.instr);
+        List.iter
+          (fun r -> rename_table.(Isa.Reg.index r) <- Some s)
+          (Isa.Instr.regs_written s.ev.instr);
+        Queue.add s rob;
+        iq := !iq @ [ s ];
+        incr iq_size;
+        s.in_iq <- true;
+        decr budget
+      end
+      else continue := false
+    done
+  in
+
+  let do_decode now =
+    if now >= !decode_block_until then begin
+      let budget = ref cfg.width in
+      let continue = ref true in
+      while
+        !continue && !budget > 0
+        && (not (Queue.is_empty fetch_q))
+        && Queue.length decode_q < cfg.decode_queue
+      do
+        let s = Queue.peek fetch_q in
+        if s.fetched >= 0 && s.fetched < now then begin
+          ignore (Queue.pop fetch_q);
+          s.decoded <- now;
+          decr budget;
+          if s.ev.instr.opcode = Isa.Opcode.Cdp_switch then begin
+            (* The CDP marker retires at decode: it informs the decoder
+               of the format switch.  It always consumes a decode slot;
+               the paper's conservative one extra decode-stage cycle is
+               the default penalty, ending this decode cycle at the
+               marker.  A penalty of 0 models free switching (used by
+               the CDP-cost ablation). *)
+            if cfg.cdp_decode_penalty > 0 then begin
+              decode_block_until := now + cfg.cdp_decode_penalty - 1;
+              continue := false
+            end;
+            s.renamed <- now;
+            s.issued <- now;
+            s.completed <- now;
+            s.committed <- now;
+            incr cdp_markers;
+            incr committed_total
+          end
+          else Queue.add s decode_q
+        end
+        else continue := false
+      done
+    end
+  in
+
+  let do_fetch now =
+    if !fetch_idx < n then begin
+      let head = slots.(!fetch_idx) in
+      if head.fetch_request < 0 then head.fetch_request <- now;
+      (* Redirect pending: wait for the mispredicted branch to resolve. *)
+      let blocked_redirect =
+        match !pending_mispredict with
+        | None -> false
+        | Some b ->
+          if b.completed >= 0 && now >= b.completed + cfg.mispredict_penalty
+          then begin
+            pending_mispredict := None;
+            cur_line := -1;
+            false
+          end
+          else true
+      in
+      if blocked_redirect || now < !fetch_resume_at then begin
+        (* Wrong-path modelling: while waiting on an unresolved branch
+           the front end keeps streaming sequential lines from the
+           not-taken path through the i-cache — pollution and pointless
+           energy, occasionally useful warming, exactly as on real
+           hardware.  The wrong-path instructions themselves are not
+           simulated (their results are squashed). *)
+        if blocked_redirect && cfg.wrong_path_fetch then begin
+          match !pending_mispredict with
+          | Some b ->
+            let line = cfg.mem.line_bytes in
+            let ahead = min 8 (max 0 (now - b.fetched)) in
+            let wrong_pc = b.ev.pc + b.ev.size + (line * ahead) in
+            ignore (Mem.Hierarchy.ifetch hier ~now wrong_pc)
+          | None -> ()
+        end;
+        incr pending_stall_i;
+        incr idle_supply
+      end
+      else begin
+        let bytes = ref cfg.fetch_bytes in
+        let new_line_accessed = ref false in
+        let fetched_any = ref false in
+        let blocked_bp = ref false in
+        let stop = ref false in
+        while not !stop do
+          if !fetch_idx >= n then stop := true
+          else begin
+            let s = slots.(!fetch_idx) in
+            if s.fetch_request < 0 then s.fetch_request <- now;
+            if Queue.length fetch_q >= cfg.fetch_queue then begin
+              blocked_bp := true;
+              stop := true
+            end
+            else begin
+              let line = line_of s.ev.pc in
+              if line <> !cur_line && !new_line_accessed then
+                (* second new line in one cycle: wait for next cycle *)
+                stop := true
+              else begin
+                if line <> !cur_line then begin
+                  let o = Mem.Hierarchy.ifetch hier ~now s.ev.pc in
+                  new_line_accessed := true;
+                  cur_line := line;
+                  if o.latency > cfg.mem.l1i_hit then begin
+                    fetch_resume_at := now + o.latency - cfg.mem.l1i_hit;
+                    stop := true
+                  end
+                end;
+                if (not !stop) && !bytes < s.ev.size then stop := true;
+                if not !stop then begin
+                  bytes := !bytes - s.ev.size;
+                  s.fetched <- now;
+                  s.stall_i <- s.stall_i + !pending_stall_i;
+                  s.stall_bp <- s.stall_bp + !pending_stall_bp;
+                  Queue.add s fetch_q;
+                  fetched_any := true;
+                  incr fetch_idx;
+                  (* Optimization hooks that observe the fetch stream. *)
+                  (match s.ev.instr.opcode with
+                  | Isa.Opcode.Call when cfg.efetch ->
+                    List.iter
+                      (fun addr -> Mem.Hierarchy.prefetch_i hier ~now addr)
+                      (Efetch.on_call efetch ~target:s.ev.next_pc)
+                  | Isa.Opcode.Load
+                    when cfg.critical_load_prefetch && s.ev.mem_addr >= 0
+                         && Criticality_table.predict crit_table ~pc:s.ev.pc
+                    ->
+                    Mem.Hierarchy.prefetch_d hier ~now ~pc:s.ev.pc
+                      s.ev.mem_addr
+                  | _ -> ());
+                  (* Control flow: mispredicts block fetch; correct taken
+                     transfers end the fetch group. *)
+                  if s.ev.is_cond_branch then begin
+                    let correct =
+                      Bpu.Predictor.predict_and_update bpu ~pc:s.ev.pc
+                        ~taken:s.ev.taken
+                    in
+                    if not correct then begin
+                      pending_mispredict := Some s;
+                      stop := true
+                    end
+                    else if s.ev.taken then stop := true
+                  end
+                  else if s.ev.fetch_break then stop := true;
+                  if (not !stop) && !fetch_idx < n then begin
+                    (* A taken transfer moved us to a new line next cycle
+                       anyway; nothing to do here. *)
+                    ()
+                  end
+                end
+              end
+            end
+          end
+        done;
+        if !fetched_any then begin
+          pending_stall_i := 0;
+          pending_stall_bp := 0
+        end
+        else if !blocked_bp then begin
+          incr pending_stall_bp;
+          incr idle_backpressure
+        end
+        else begin
+          incr pending_stall_i;
+          incr idle_supply
+        end
+      end
+    end
+  in
+
+  (* ------------------------------ main loop ------------------------ *)
+  let now = ref 0 in
+  let guard = (n * 300) + 1_000_000 in
+  let finished () =
+    !fetch_idx >= n && Queue.is_empty fetch_q && Queue.is_empty decode_q
+    && Queue.is_empty rob
+  in
+  while not (finished ()) do
+    if !now > guard then failwith "Cpu.run: deadlock (cycle guard exceeded)";
+    do_commit !now;
+    do_completions !now;
+    do_issue !now;
+    do_rename !now;
+    do_decode !now;
+    do_fetch !now;
+    incr now
+  done;
+
+  {
+    Stats.cycles = !now;
+    committed_total = !committed_total;
+    committed_work = !committed_work;
+    thumb_committed = !thumb_committed;
+    cdp_markers = !cdp_markers;
+    critical_count = !critical_count;
+    fetch_idle_supply = !idle_supply;
+    fetch_idle_backpressure = !idle_backpressure;
+    stage_all = acc_to_summary acc_all;
+    stage_critical = acc_to_summary acc_crit;
+    stage_chain = acc_to_summary acc_chain;
+    bpu = Bpu.Predictor.stats bpu;
+    l1i = Mem.Hierarchy.l1i_stats hier;
+    l1d = Mem.Hierarchy.l1d_stats hier;
+    l2 = Mem.Hierarchy.l2_stats hier;
+    dram = Mem.Hierarchy.dram_stats hier;
+    efetch_predictions = Efetch.predictions efetch;
+    efetch_correct = Efetch.correct efetch;
+  }

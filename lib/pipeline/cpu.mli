@@ -1,0 +1,25 @@
+(** Trace-driven cycle-level out-of-order core.
+
+    The model implements the Table I machine: a [width]-wide
+    fetch/decode/rename/issue/execute/commit pipeline with a 128-entry
+    ROB, a decoupling fetch buffer, register-renamed RAW dependences, a
+    two-level branch predictor, and the {!Mem.Hierarchy} for both
+    instruction and data sides.  Wrong-path work is not simulated; a
+    mispredicted branch stalls fetch until it resolves plus a redirect
+    penalty, which is the standard trace-driven approximation.
+
+    Special instruction handling:
+    - 16-bit (Thumb) instructions occupy half the fetch-group bytes,
+      which is how the CritIC transformation buys fetch bandwidth;
+    - [Cdp_switch] markers occupy fetch bytes and a decode slot, add
+      {!Config.t.cdp_decode_penalty} cycles at decode, and retire there
+      without entering the ROB;
+    - body control instructions (the Approach-1 switch branches) execute
+      on the branch unit and always break the fetch group. *)
+
+val run : ?warm:bool -> Config.t -> Prog.Trace.t -> Stats.t
+(** Simulate the whole event stream to completion and report statistics.
+    [warm] (default true) replays the trace's memory footprint through
+    the cache hierarchy first, so measurements reflect steady state
+    rather than cold start.  Raises [Failure] if the machine deadlocks
+    (internal invariant violation). *)

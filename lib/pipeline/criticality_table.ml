@@ -1,0 +1,34 @@
+type t = {
+  confidence : int array; (* 2-bit counters; predict critical when >= 2 *)
+  tags : int array;
+  threshold : int;
+  mutable hits : int;
+}
+
+let create ?(entries = 4096) ~threshold () =
+  {
+    confidence = Array.make entries 0;
+    tags = Array.make entries (-1);
+    threshold;
+    hits = 0;
+  }
+
+let slot t pc = (pc lsr 1) mod Array.length t.confidence
+
+let predict t ~pc =
+  let i = slot t pc in
+  let critical = t.tags.(i) = pc && t.confidence.(i) >= 2 in
+  if critical then t.hits <- t.hits + 1;
+  critical
+
+let train t ~pc ~fanout =
+  let i = slot t pc in
+  if t.tags.(i) <> pc then begin
+    t.tags.(i) <- pc;
+    t.confidence.(i) <- if fanout >= t.threshold then 2 else 0
+  end
+  else if fanout >= t.threshold then
+    t.confidence.(i) <- min 3 (t.confidence.(i) + 1)
+  else t.confidence.(i) <- max 0 (t.confidence.(i) - 1)
+
+let predicted_critical t = t.hits

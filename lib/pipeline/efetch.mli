@@ -1,0 +1,23 @@
+(** EFetch-style instruction prefetcher [71].
+
+    EFetch targets user-event-driven code: it tracks a signature of the
+    recent call history and uses it to predict the function that will be
+    called next, prefetching that function's leading i-cache lines.  The
+    paper cites a 39 KB lookup table; we model a 4096-entry table keyed
+    by a hash of the last few call targets. *)
+
+type t
+
+val create : ?entries:int -> ?lines_ahead:int -> unit -> t
+(** [lines_ahead] is how many leading lines of the predicted function to
+    prefetch (default 4). *)
+
+val on_call : t -> target:int -> int list
+(** [on_call t ~target] is invoked when a call to [target] is fetched.
+    It returns the addresses to prefetch for the *predicted next* call
+    (empty on a cold signature) and then folds [target] into the
+    history. *)
+
+val predictions : t -> int
+val correct : t -> int
+(** Prediction accuracy counters, for reporting. *)

@@ -1,0 +1,104 @@
+type stage_summary = {
+  count : int;
+  fetch_i : int;
+  fetch_rd : int;
+  decode : int;
+  rename : int;
+  issue_wait : int;
+  execute : int;
+  commit_wait : int;
+}
+
+let empty_summary =
+  {
+    count = 0;
+    fetch_i = 0;
+    fetch_rd = 0;
+    decode = 0;
+    rename = 0;
+    issue_wait = 0;
+    execute = 0;
+    commit_wait = 0;
+  }
+
+let summary_total s =
+  s.fetch_i + s.fetch_rd + s.decode + s.rename + s.issue_wait + s.execute
+  + s.commit_wait
+
+let summary_shares s =
+  let total = float_of_int (max 1 (summary_total s)) in
+  let f x = float_of_int x /. total in
+  [
+    ("fetch.stall_for_i", f s.fetch_i);
+    ("fetch.stall_for_r+d", f s.fetch_rd);
+    ("decode", f s.decode);
+    ("rename", f s.rename);
+    ("issue", f s.issue_wait);
+    ("execute", f s.execute);
+    ("commit", f s.commit_wait);
+  ]
+
+type t = {
+  cycles : int;
+  committed_total : int;
+  committed_work : int;
+  thumb_committed : int;
+  cdp_markers : int;
+  critical_count : int;
+  fetch_idle_supply : int;
+  fetch_idle_backpressure : int;
+  stage_all : stage_summary;
+  stage_critical : stage_summary;
+  stage_chain : stage_summary;
+  bpu : Bpu.Predictor.stats;
+  l1i : Mem.Cache.stats;
+  l1d : Mem.Cache.stats;
+  l2 : Mem.Cache.stats;
+  dram : Mem.Dram.stats;
+  efetch_predictions : int;
+  efetch_correct : int;
+}
+
+let ipc t =
+  if t.cycles = 0 then 0.0
+  else float_of_int t.committed_work /. float_of_int t.cycles
+
+let critical_fraction t =
+  if t.committed_work = 0 then 0.0
+  else float_of_int t.critical_count /. float_of_int t.committed_work
+
+let render t =
+  let cache_line name (c : Mem.Cache.stats) =
+    ( name,
+      Printf.sprintf "%d accesses, %d misses (%.2f%%)" c.accesses c.misses
+        (if c.accesses = 0 then 0.0
+         else 100.0 *. float_of_int c.misses /. float_of_int c.accesses) )
+  in
+  let shares s =
+    summary_shares s
+    |> List.map (fun (k, v) -> Printf.sprintf "%s %.1f%%" k (100.0 *. v))
+    |> String.concat ", "
+  in
+  Util.Text_table.render_kv
+    [
+      ("cycles", string_of_int t.cycles);
+      ("committed (work)", string_of_int t.committed_work);
+      ("committed (total)", string_of_int t.committed_total);
+      ("IPC (work)", Printf.sprintf "%.3f" (ipc t));
+      ("critical fraction", Util.Stats.pct (critical_fraction t));
+      ("thumb committed", string_of_int t.thumb_committed);
+      ("cdp markers", string_of_int t.cdp_markers);
+      ("fetch idle (supply)", string_of_int t.fetch_idle_supply);
+      ("fetch idle (backpressure)", string_of_int t.fetch_idle_backpressure);
+      ("stage shares (all)", shares t.stage_all);
+      ("stage shares (critical)", shares t.stage_critical);
+      ( "bpu",
+        Printf.sprintf "%d lookups, %d mispredicts" t.bpu.lookups
+          t.bpu.mispredicts );
+      cache_line "l1i" t.l1i;
+      cache_line "l1d" t.l1d;
+      cache_line "l2" t.l2;
+      ( "dram",
+        Printf.sprintf "%d reads, %d writes, %d row hits, %d row misses"
+          t.dram.reads t.dram.writes t.dram.row_hits t.dram.row_misses );
+    ]

@@ -1,0 +1,57 @@
+(** The CritIC database: the output of offline profiling.
+
+    Each {!site} is a static occurrence of a critical instruction chain
+    inside one basic block — the unit the compiler pass hoists and
+    Thumb-converts.  The database also carries the distribution data of
+    the paper's motivation figures (IC lengths/spreads, coverage CDF). *)
+
+type site = {
+  block_id : int;
+  start_index : int;       (** body index of the first chain member *)
+  member_indices : int list;
+      (** body indices of all members, increasing; the chain is not
+          necessarily contiguous in the block before hoisting *)
+  uids : int list;         (** instruction uids, in chain order *)
+  key : string;            (** structural key (opcode+operands sequence) *)
+  occurrences : int;       (** dynamic executions observed *)
+  criticality : float;     (** mean fanout per instruction over
+                               occurrences *)
+  convertible : bool;      (** every member is Thumb-convertible
+                               (the paper's all-or-nothing rule) *)
+}
+
+val site_length : site -> int
+
+type t = {
+  sites : site list;
+      (** selected CritICs: criticality above threshold,
+          non-overlapping within each block, best coverage first *)
+  total_work : int;        (** dynamic work instructions profiled *)
+  ic_lengths : Util.Dist.Histogram.t;  (** maximal-IC lengths (Fig. 5a) *)
+  ic_spreads : Util.Dist.Histogram.t;  (** maximal-IC spreads (Fig. 5a) *)
+  chain_gaps : Util.Dist.Histogram.t;
+      (** low-fanout gaps between successive high-fanout instructions in
+          dependence chains; -1 = none in the forward slice (Fig. 1b) *)
+}
+
+val coverage : t -> float
+(** Fraction of profiled dynamic work instructions covered by the
+    selected sites. *)
+
+val convertible_coverage : t -> float
+(** Same, counting only fully Thumb-convertible sites (Fig. 5b's second
+    CDF). *)
+
+val coverage_cdf : ?convertible_only:bool -> t -> (float * float) list
+(** Points (unique-chain rank fraction, cumulative dynamic coverage) —
+    the Fig. 5b CDF over unique CritIC sequences ordered by coverage. *)
+
+val restrict_length : int -> t -> t
+(** Keep only sites of length at most [n] (the paper's realistic CritIC
+    uses n = 5; CritIC.Ideal lifts the cap).  Longer sites are truncated
+    to their length-[n] prefix when that prefix is still above nothing —
+    truncation is safe because any prefix of an IC is an IC. *)
+
+val exact_length : int -> t -> t
+(** Keep sites of exactly length [n], truncating longer ones (for the
+    Fig. 12a length sweep). *)

@@ -1,0 +1,128 @@
+let format_version = "critics-db-1"
+
+let hist_to_buf buf name h =
+  Buffer.add_string buf (Printf.sprintf "hist %s\n" name);
+  List.iter
+    (fun (v, c) -> Buffer.add_string buf (Printf.sprintf "%d %d\n" v c))
+    (Util.Dist.Histogram.bins h);
+  Buffer.add_string buf "end\n"
+
+let to_string (db : Critic_db.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (format_version ^ "\n");
+  Buffer.add_string buf (Printf.sprintf "total_work %d\n" db.total_work);
+  Buffer.add_string buf (Printf.sprintf "sites %d\n" (List.length db.sites));
+  List.iter
+    (fun (s : Critic_db.site) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d %d %d %.6f %b %s %s %s\n" s.block_id s.start_index
+           s.occurrences s.criticality s.convertible
+           (String.concat "," (List.map string_of_int s.member_indices))
+           (String.concat "," (List.map string_of_int s.uids))
+           s.key))
+    db.sites;
+  hist_to_buf buf "ic_lengths" db.ic_lengths;
+  hist_to_buf buf "ic_spreads" db.ic_spreads;
+  hist_to_buf buf "chain_gaps" db.chain_gaps;
+  Buffer.contents buf
+
+let parse_int_list s =
+  if s = "" then []
+  else String.split_on_char ',' s |> List.map int_of_string
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let fail line msg = failwith (Printf.sprintf "Db_io line %d: %s" line msg) in
+  match lines with
+  | version :: rest when version = format_version ->
+    let lineno = ref 1 in
+    let next = ref rest in
+    let pop () =
+      incr lineno;
+      match !next with
+      | [] -> fail !lineno "unexpected end of input"
+      | l :: tl ->
+        next := tl;
+        l
+    in
+    let expect_kv key =
+      let l = pop () in
+      match String.split_on_char ' ' l with
+      | [ k; v ] when k = key -> int_of_string v
+      | _ -> fail !lineno (Printf.sprintf "expected '%s <int>'" key)
+    in
+    let total_work = expect_kv "total_work" in
+    let nsites = expect_kv "sites" in
+    let parse_site l =
+      match String.index_opt l ' ' with
+      | None -> fail !lineno "malformed site"
+      | Some _ ->
+        (* split into 8 fields, key (last) may contain spaces *)
+        let rec split_n acc n s =
+          if n = 0 then List.rev (s :: acc)
+          else
+            match String.index_opt s ' ' with
+            | None -> fail !lineno "malformed site"
+            | Some i ->
+              split_n
+                (String.sub s 0 i :: acc)
+                (n - 1)
+                (String.sub s (i + 1) (String.length s - i - 1))
+        in
+        (match split_n [] 7 l with
+        | [ block; start; occ; crit; conv; idxs; uids; key ] ->
+          {
+            Critic_db.block_id = int_of_string block;
+            start_index = int_of_string start;
+            occurrences = int_of_string occ;
+            criticality = float_of_string crit;
+            convertible = bool_of_string conv;
+            member_indices = parse_int_list idxs;
+            uids = parse_int_list uids;
+            key;
+          }
+        | _ -> fail !lineno "malformed site")
+    in
+    let sites = List.init nsites (fun _ -> parse_site (pop ())) in
+    let parse_hist name =
+      let header = pop () in
+      if header <> "hist " ^ name then
+        fail !lineno (Printf.sprintf "expected 'hist %s'" name);
+      let h = Util.Dist.Histogram.create () in
+      let rec go () =
+        let l = pop () in
+        if l = "end" then h
+        else
+          match String.split_on_char ' ' l with
+          | [ v; c ] ->
+            Util.Dist.Histogram.addn h (int_of_string v) (int_of_string c);
+            go ()
+          | _ -> fail !lineno "malformed histogram entry"
+      in
+      go ()
+    in
+    let ic_lengths = parse_hist "ic_lengths" in
+    let ic_spreads = parse_hist "ic_spreads" in
+    let chain_gaps = parse_hist "chain_gaps" in
+    { Critic_db.sites; total_work; ic_lengths; ic_spreads; chain_gaps }
+  | v :: _ ->
+    failwith
+      (Printf.sprintf "Db_io: unsupported format %S (expected %s)"
+         (if String.length v > 32 then String.sub v 0 32 else v)
+         format_version)
+  | [] -> failwith "Db_io: empty input"
+
+let save db path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string db))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      really_input_string ic n)
+  |> of_string

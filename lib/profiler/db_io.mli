@@ -1,0 +1,25 @@
+(** CritIC database persistence.
+
+    The paper's flow profiles apps offline (emulator + simulator +
+    distributed aggregation) and ships the resulting chain database to
+    the on-device ART compiler.  This module provides the equivalent
+    hand-off: a stable, human-readable text format so a database
+    profiled once can be applied to the program many times (or
+    inspected).
+
+    Format: a header line, then one line per site —
+    [block start occurrences criticality convertible idx0,idx1,...
+    uid0,uid1,... key] — with the structural key last since it contains
+    spaces.  Histograms are serialized as [hist <name>] sections of
+    [value count] pairs. *)
+
+val save : Critic_db.t -> string -> unit
+(** [save db path] writes the database.  Raises [Sys_error] on I/O
+    failure. *)
+
+val load : string -> Critic_db.t
+(** [load path] reads a database written by {!save}.  Raises [Failure]
+    with a line diagnostic on malformed input. *)
+
+val to_string : Critic_db.t -> string
+val of_string : string -> Critic_db.t

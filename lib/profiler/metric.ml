@@ -1,0 +1,44 @@
+type t = Average_fanout | Geometric_mean | Tail_weighted | Minimum_fanout
+
+let all = [ Average_fanout; Geometric_mean; Tail_weighted; Minimum_fanout ]
+
+let name = function
+  | Average_fanout -> "average"
+  | Geometric_mean -> "geomean"
+  | Tail_weighted -> "tail-weighted"
+  | Minimum_fanout -> "minimum"
+
+let of_string s =
+  let s = String.lowercase_ascii s in
+  List.find_opt (fun m -> name m = s) all
+
+let score metric fanouts =
+  match fanouts with
+  | [] -> 0.0
+  | _ ->
+    let n = List.length fanouts in
+    let fn = float_of_int n in
+    (match metric with
+    | Average_fanout ->
+      float_of_int (List.fold_left ( + ) 0 fanouts) /. fn
+    | Geometric_mean ->
+      (* fanout-0 members zero the product; add-one smoothing keeps the
+         metric comparable to the arithmetic mean on uniform chains *)
+      let logsum =
+        List.fold_left
+          (fun acc f -> acc +. log (float_of_int (f + 1)))
+          0.0 fanouts
+      in
+      exp (logsum /. fn) -. 1.0
+    | Tail_weighted ->
+      (* weights 1..n, later members heavier *)
+      let acc = ref 0.0 and wsum = ref 0.0 in
+      List.iteri
+        (fun i f ->
+          let w = float_of_int (i + 1) in
+          acc := !acc +. (w *. float_of_int f);
+          wsum := !wsum +. w)
+        fanouts;
+      !acc /. !wsum
+    | Minimum_fanout ->
+      float_of_int (List.fold_left min max_int fanouts))

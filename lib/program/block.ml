@@ -1,0 +1,41 @@
+type terminator =
+  | Fallthrough of int
+  | Cond_branch of { taken : int; not_taken : int; taken_bias : float }
+  | Jump of int
+  | Call of { callee : int; return_to : int }
+  | Return
+
+type t = {
+  id : int;
+  func : int;
+  body : Isa.Instr.t array;
+  term : terminator;
+}
+
+let make ~id ~func ~body ~term = { id; func; body; term }
+let with_body body t = { t with body }
+
+let size_bytes t =
+  Array.fold_left (fun acc i -> acc + Isa.Instr.size_bytes i) 0 t.body
+
+let successors t =
+  match t.term with
+  | Fallthrough b | Jump b -> [ b ]
+  | Cond_branch { taken; not_taken; _ } -> [ taken; not_taken ]
+  | Call { callee; return_to } -> [ callee; return_to ]
+  | Return -> []
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v2>block %d (func %d):" t.id t.func;
+  Array.iter (fun i -> Format.fprintf fmt "@,%a" Isa.Instr.pp i) t.body;
+  let term =
+    match t.term with
+    | Fallthrough b -> Printf.sprintf "fallthrough -> %d" b
+    | Cond_branch { taken; not_taken; taken_bias } ->
+      Printf.sprintf "cond -> %d (p=%.2f) | %d" taken taken_bias not_taken
+    | Jump b -> Printf.sprintf "jump -> %d" b
+    | Call { callee; return_to } ->
+      Printf.sprintf "call %d, return to %d" callee return_to
+    | Return -> "return"
+  in
+  Format.fprintf fmt "@,%s@]" term

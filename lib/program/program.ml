@@ -1,0 +1,101 @@
+type t = {
+  entry : int;
+  blocks : Block.t array; (* indexed by block id *)
+  addrs : int array;      (* start address per block id *)
+  code_size : int;
+}
+
+let code_base = 0x10000
+
+let layout blocks =
+  (* Blocks are laid out in id order; functions are built with
+     consecutive block ids so this keeps functions contiguous. *)
+  let addrs = Array.make (Array.length blocks) 0 in
+  let pc = ref code_base in
+  Array.iteri
+    (fun i b ->
+      addrs.(i) <- !pc;
+      pc := !pc + Block.size_bytes b;
+      (* Word-align every block start: a Thumb-shortened block must not
+         let the next block begin mid-word. *)
+      if !pc land 3 <> 0 then pc := (!pc lor 3) + 1)
+    blocks;
+  (addrs, !pc - code_base)
+
+let make ~entry ~blocks =
+  let n = List.length blocks in
+  let arr = Array.make n None in
+  List.iter
+    (fun (b : Block.t) ->
+      if b.id < 0 || b.id >= n then
+        invalid_arg "Program.make: block ids must be dense in [0, n)";
+      match arr.(b.id) with
+      | Some _ -> invalid_arg "Program.make: duplicate block id"
+      | None -> arr.(b.id) <- Some b)
+    blocks;
+  let blocks =
+    Array.map
+      (function
+        | Some b -> b
+        | None -> invalid_arg "Program.make: missing block id")
+      arr
+  in
+  if entry < 0 || entry >= n then invalid_arg "Program.make: bad entry";
+  Array.iter
+    (fun b ->
+      List.iter
+        (fun s ->
+          if s < 0 || s >= n then
+            invalid_arg "Program.make: dangling successor")
+        (Block.successors b))
+    blocks;
+  let addrs, code_size = layout blocks in
+  { entry; blocks; addrs; code_size }
+
+let entry t = t.entry
+let block t id = t.blocks.(id)
+let blocks t = t.blocks
+let num_blocks t = Array.length t.blocks
+let block_addr t id = t.addrs.(id)
+let code_size t = t.code_size
+
+let instr_count t =
+  Array.fold_left (fun acc b -> acc + Array.length b.Block.body) 0 t.blocks
+
+let max_uid t =
+  Array.fold_left
+    (fun acc (b : Block.t) ->
+      Array.fold_left (fun acc (i : Isa.Instr.t) -> max acc i.uid) acc b.body)
+    (-1) t.blocks
+
+let map_blocks f t =
+  let blocks =
+    Array.map
+      (fun (b : Block.t) ->
+        let b' = f b in
+        if b'.Block.id <> b.id || b'.Block.term <> b.term then
+          invalid_arg "Program.map_blocks: pass must preserve CFG shape";
+        b')
+      t.blocks
+  in
+  let addrs, code_size = layout blocks in
+  { t with blocks; addrs; code_size }
+
+let iter_instrs f t =
+  Array.iter (fun b -> Array.iter (f b) b.Block.body) t.blocks
+
+let find_instr t uid =
+  let found = ref None in
+  (try
+     Array.iter
+       (fun (b : Block.t) ->
+         Array.iteri
+           (fun i (ins : Isa.Instr.t) ->
+             if ins.uid = uid then begin
+               found := Some (b, i);
+               raise Exit
+             end)
+           b.body)
+       t.blocks
+   with Exit -> ());
+  !found

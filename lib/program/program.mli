@@ -1,0 +1,46 @@
+(** Whole static programs: a CFG of basic blocks plus a code layout.
+
+    The layout assigns each block a byte address (blocks of the same
+    function are contiguous), which the fetch stage and i-cache observe.
+    Compiler passes that change block bodies change the layout, and
+    therefore the code footprint — exactly the effect Thumb conversion
+    is after. *)
+
+type t
+
+val make : entry:int -> blocks:Block.t list -> t
+(** [make ~entry ~blocks] builds a program.  Raises [Invalid_argument]
+    on duplicate block ids, a dangling successor, or a missing entry. *)
+
+val entry : t -> int
+val block : t -> int -> Block.t
+val blocks : t -> Block.t array
+(** Blocks in id order. *)
+
+val num_blocks : t -> int
+val block_addr : t -> int -> int
+(** Start byte address of a block. *)
+
+val code_base : int
+(** Base address of the code segment. *)
+
+val code_size : t -> int
+(** Total laid-out code bytes. *)
+
+val instr_count : t -> int
+(** Static instruction count. *)
+
+val max_uid : t -> int
+(** Largest instruction uid in use (for passes allocating fresh uids);
+    -1 if the program has no instructions. *)
+
+val map_blocks : (Block.t -> Block.t) -> t -> t
+(** Rewrite every block body (the CFG shape must be preserved: passes may
+    only change [body]).  Raises [Invalid_argument] if a pass altered a
+    block's [id] or [term]. *)
+
+val iter_instrs : (Block.t -> Isa.Instr.t -> unit) -> t -> unit
+
+val find_instr : t -> int -> (Block.t * int) option
+(** [find_instr p uid] locates an instruction by uid: its block and index
+    within the block body. *)

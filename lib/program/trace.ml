@@ -1,0 +1,144 @@
+type event = {
+  seq : int;
+  pc : int;
+  size : int;
+  instr : Isa.Instr.t;
+  block_id : int;
+  body_index : int;
+  func : int;
+  mem_addr : int;
+  is_cond_branch : bool;
+  taken : bool;
+  next_pc : int;
+  fetch_break : bool;
+}
+
+type t = event array
+
+let control_uid_base = 1_000_000_000
+let data_base = 0x4000_0000
+let region_span = 0x0100_0000
+
+(* Order-independent per-access randomness: every (seed, uid, count)
+   triple hashes to its own one-shot generator, so a pass that reorders
+   instructions inside a block leaves every other address stream
+   untouched. *)
+let access_rng seed uid count =
+  Util.Rng.create
+    ((seed * 0x9E3779B1) lxor (uid * 0x85EBCA77) lxor (count * 0xC2B2AE3D))
+
+let mem_address ~seed ~uid ~count (m : Isa.Instr.mem_signature) =
+  let base = data_base + (m.region * region_span) in
+  let ws = max m.stride m.working_set in
+  let slots = max 1 (ws / max 1 m.stride) in
+  let rng = access_rng seed uid count in
+  let slot =
+    if m.randomness > 0.0 && Util.Rng.chance rng m.randomness then
+      Util.Rng.int rng slots
+    else count mod slots
+  in
+  base + (slot * m.stride)
+
+(* Synthetic control-transfer instruction for a block terminator. *)
+let terminator_instr block_id (term : Block.terminator) =
+  let uid = control_uid_base + block_id in
+  let mk opcode = Isa.Instr.make ~uid ~opcode () in
+  match term with
+  | Block.Fallthrough _ -> None
+  | Block.Cond_branch _ -> Some (mk Isa.Opcode.Branch)
+  | Block.Jump _ -> Some (mk Isa.Opcode.Branch)
+  | Block.Call _ -> Some (mk Isa.Opcode.Call)
+  | Block.Return -> Some (mk Isa.Opcode.Return)
+
+let expand program ~seed path =
+  let counts : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let next_count uid =
+    let c = Option.value ~default:0 (Hashtbl.find_opt counts uid) in
+    Hashtbl.replace counts uid (c + 1);
+    c
+  in
+  let events = ref [] in
+  let npath = Array.length path in
+  Array.iteri
+    (fun visit block_id ->
+      let b = Program.block program block_id in
+      let pc = ref (Program.block_addr program block_id) in
+      Array.iteri
+        (fun body_index (ins : Isa.Instr.t) ->
+          let size = Isa.Instr.size_bytes ins in
+          let mem_addr =
+            match ins.mem with
+            | None -> -1
+            | Some m -> mem_address ~seed ~uid:ins.uid ~count:(next_count ins.uid) m
+          in
+          let is_control = Isa.Opcode.is_control ins.opcode in
+          events :=
+            {
+              seq = 0;
+              pc = !pc;
+              size;
+              instr = ins;
+              block_id;
+              body_index;
+              func = b.Block.func;
+              mem_addr;
+              is_cond_branch = false;
+              (* Body control instructions (Approach-1 switch branches)
+                 are unconditional and always treated as taken. *)
+              taken = is_control;
+              next_pc = 0;
+              fetch_break = is_control;
+            }
+            :: !events;
+          pc := !pc + size)
+        b.Block.body;
+      match terminator_instr block_id b.Block.term with
+      | None -> ()
+      | Some ins ->
+        let taken =
+          match b.Block.term with
+          | Block.Fallthrough _ -> false
+          | Block.Jump _ | Block.Call _ | Block.Return -> true
+          | Block.Cond_branch { taken; _ } ->
+            visit + 1 < npath && path.(visit + 1) = taken
+        in
+        events :=
+          {
+            seq = 0;
+            pc = !pc;
+            size = 4;
+            instr = ins;
+            block_id;
+            body_index = -1;
+            func = b.Block.func;
+            mem_addr = -1;
+            is_cond_branch =
+              (match b.Block.term with
+              | Block.Cond_branch _ -> true
+              | Block.Fallthrough _ | Block.Jump _ | Block.Call _
+              | Block.Return -> false);
+            taken;
+            next_pc = 0;
+            fetch_break = taken;
+          }
+          :: !events)
+    path;
+  let arr = Array.of_list (List.rev !events) in
+  let n = Array.length arr in
+  Array.iteri
+    (fun i e ->
+      let next_pc = if i + 1 < n then arr.(i + 1).pc else e.pc + e.size in
+      let fetch_break = e.fetch_break || next_pc <> e.pc + e.size in
+      arr.(i) <- { e with seq = i; next_pc; fetch_break })
+    arr;
+  arr
+
+let is_work (e : event) =
+  e.instr.opcode <> Isa.Opcode.Cdp_switch
+  && (e.instr.uid >= control_uid_base
+      || not (Isa.Opcode.is_control e.instr.opcode))
+
+let instr_events t = Array.to_list t |> List.filter is_work
+
+let work_count t =
+  Array.fold_left (fun acc e -> if is_work e then acc + 1 else acc) 0 t

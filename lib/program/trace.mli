@@ -1,0 +1,45 @@
+(** Dynamic instruction traces.
+
+    Expanding a block path over a program yields the event stream the
+    pipeline simulates: per-instruction program counters, concrete memory
+    addresses, and control-transfer outcomes.  Expansion is fully
+    deterministic in (program, path, seed); memory-address randomness is
+    keyed on (seed, instruction uid, access count) so that compiler
+    passes which reorder instructions inside a block do not perturb any
+    other instruction's address stream. *)
+
+type event = {
+  seq : int;                (** position in the dynamic stream *)
+  pc : int;                 (** byte address of the instruction *)
+  size : int;               (** encoded size: 4 or 2 bytes *)
+  instr : Isa.Instr.t;
+  block_id : int;
+  body_index : int;         (** index within the block body; -1 for the
+                                synthetic terminator *)
+  func : int;
+  mem_addr : int;           (** concrete byte address; -1 for non-memory *)
+  is_cond_branch : bool;    (** consults the direction predictor *)
+  taken : bool;             (** actual control outcome *)
+  next_pc : int;            (** address of the next dynamic instruction *)
+  fetch_break : bool;       (** a taken transfer ends the fetch group *)
+}
+
+type t = event array
+
+val expand : Program.t -> seed:int -> Walk.path -> t
+(** Expand a block path into the dynamic event stream.  Synthetic
+    control-transfer instructions are appended per block terminator
+    (conditional branch, jump, call, return); [Fallthrough] appends
+    nothing. *)
+
+val instr_events : t -> event list
+(** Events excluding synthetic terminators and CDP markers — the
+    "useful work" instructions used for IPC-style accounting. *)
+
+val work_count : t -> int
+(** Number of useful-work events ({!instr_events} length). *)
+
+val control_uid_base : int
+(** Synthetic terminator instructions get uid
+    [control_uid_base + block_id]; the range never collides with body
+    instruction uids (which are non-negative and far smaller). *)

@@ -1,0 +1,39 @@
+type path = int array
+
+let step program rng stack cur =
+  let b = Program.block program cur in
+  match b.Block.term with
+  | Block.Fallthrough next | Block.Jump next -> next
+  | Block.Cond_branch { taken; not_taken; taken_bias } ->
+    if Util.Rng.chance rng taken_bias then taken else not_taken
+  | Block.Call { callee; return_to } ->
+    stack := return_to :: !stack;
+    callee
+  | Block.Return -> (
+    match !stack with
+    | r :: rest ->
+      stack := rest;
+      r
+    | [] -> Program.entry program)
+
+let walk program ~seed ~continue =
+  let rng = Util.Rng.create seed in
+  let stack = ref [] in
+  let acc = ref [] in
+  let cur = ref (Program.entry program) in
+  let visits = ref 0 in
+  let instrs = ref 0 in
+  while continue ~visits:!visits ~instrs:!instrs do
+    acc := !cur :: !acc;
+    incr visits;
+    instrs :=
+      !instrs + Array.length (Program.block program !cur).Block.body;
+    cur := step program rng stack !cur
+  done;
+  Array.of_list (List.rev !acc)
+
+let path_for_instrs program ~seed ~instrs =
+  walk program ~seed ~continue:(fun ~visits:_ ~instrs:n -> n < instrs)
+
+let path_visits program ~seed ~visits =
+  walk program ~seed ~continue:(fun ~visits:v ~instrs:_ -> v < visits)

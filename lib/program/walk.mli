@@ -1,0 +1,18 @@
+(** Deterministic control-flow walks.
+
+    A walk is a sequence of block ids sampled from the CFG's branch
+    biases with an explicit seed.  Compiler passes preserve block ids and
+    terminators, so a path computed on the baseline program replays the
+    *same work* on every transformed variant — the basis of all
+    before/after comparisons in the experiments. *)
+
+type path = int array
+(** Visited block ids, in order, starting at the program entry. *)
+
+val path_for_instrs : Program.t -> seed:int -> instrs:int -> path
+(** Walk until at least [instrs] body instructions (counted on the given
+    program) have been visited.  Control decisions consume one RNG draw
+    per block visit regardless of block contents. *)
+
+val path_visits : Program.t -> seed:int -> visits:int -> path
+(** Walk for exactly [visits] block visits. *)

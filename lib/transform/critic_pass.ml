@@ -1,0 +1,206 @@
+module I = Isa.Instr
+module Db = Profiler.Critic_db
+
+type switch_mode = Cdp | Branches | Hoist_only | Fused_macro
+
+type options = { max_len : int; mode : switch_mode; ideal : bool }
+
+let default_options = { max_len = 5; mode = Cdp; ideal = false }
+let ideal_options = { max_len = max_int; mode = Cdp; ideal = true }
+
+type report = {
+  sites_considered : int;
+  sites_applied : int;
+  rejected_stale : int;
+  rejected_legality : int;
+  rejected_convertibility : int;
+  instrs_hoisted : int;
+  instrs_converted : int;
+  cdp_inserted : int;
+  switch_branches_inserted : int;
+}
+
+let zero =
+  {
+    sites_considered = 0;
+    sites_applied = 0;
+    rejected_stale = 0;
+    rejected_legality = 0;
+    rejected_convertibility = 0;
+    instrs_hoisted = 0;
+    instrs_converted = 0;
+    cdp_inserted = 0;
+    switch_branches_inserted = 0;
+  }
+
+let cdp_span = 9
+
+(* Replace the hoisted segment [first, first+len) with its converted
+   form: chain tags on every member, plus the chosen switch mechanism. *)
+let emit_segment ~options ~fresh_uid ~chain_id members =
+  let len = List.length members in
+  let tagged =
+    List.mapi
+      (fun pos m ->
+        I.with_chain (Some { I.chain_id; pos; len }) m)
+      members
+  in
+  match options.mode with
+  | Hoist_only -> (tagged, 0, 0, 0)
+  | Fused_macro ->
+    (* One fetch for the whole chain: the head keeps its 32-bit slot
+       (the hypothetical macro opcode word), the rest ride for free. *)
+    (match tagged with
+    | [] -> ([], 0, 0, 0)
+    | head :: rest -> (head :: List.map I.fuse rest, len, 0, 0))
+  | Branches ->
+    let pre = I.make ~uid:(fresh_uid ()) ~opcode:Isa.Opcode.Branch () in
+    let post =
+      I.make ~uid:(fresh_uid ()) ~opcode:Isa.Opcode.Branch
+        ~encoding:I.Thumb16 ()
+    in
+    let converted =
+      List.map
+        (fun m -> if options.ideal then I.force_thumb m else I.with_encoding I.Thumb16 m)
+        tagged
+    in
+    ((pre :: converted) @ [ post ], len, 0, 2)
+  | Cdp ->
+    let rec chunks acc = function
+      | [] -> List.rev acc
+      | l ->
+        let n = min cdp_span (List.length l) in
+        chunks
+          (List.filteri (fun i _ -> i < n) l :: acc)
+          (List.filteri (fun i _ -> i >= n) l)
+    in
+    let groups = chunks [] tagged in
+    let out =
+      List.concat_map
+        (fun group ->
+          I.cdp ~uid:(fresh_uid ()) ~following:(List.length group)
+          :: List.map
+               (fun m ->
+                 if options.ideal then I.force_thumb m
+                 else I.with_encoding I.Thumb16 m)
+               group)
+        groups
+    in
+    (out, len, List.length groups, 0)
+
+let apply ?(options = default_options) (db : Db.t) program =
+  let db =
+    if options.ideal then db else Db.restrict_length options.max_len db
+  in
+  let by_block : (int, Db.site list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Db.site) ->
+      if Db.site_length s >= 2 then
+        Hashtbl.replace by_block s.block_id
+          (s :: Option.value ~default:[] (Hashtbl.find_opt by_block s.block_id)))
+    db.sites;
+  let next_uid = ref (Prog.Program.max_uid program + 1) in
+  let fresh_uid () =
+    let u = !next_uid in
+    incr next_uid;
+    u
+  in
+  let chain_counter = ref 0 in
+  let r = ref zero in
+  let bump f = r := f !r in
+  let apply_site (block : Prog.Block.t) (site : Db.site) =
+    bump (fun r -> { r with sites_considered = r.sites_considered + 1 });
+    let body = block.Prog.Block.body in
+    let fresh_site_ok =
+      List.for_all2
+        (fun idx uid -> idx < Array.length body && body.(idx).I.uid = uid)
+        site.member_indices site.uids
+    in
+    if not fresh_site_ok then begin
+      bump (fun r -> { r with rejected_stale = r.rejected_stale + 1 });
+      block
+    end
+    else begin
+      (* Longest legal prefix: any prefix of an IC is an IC, so when the
+         full chain cannot be hoisted (e.g. a register is reused further
+         down) we fall back to the longest hoistable prefix. *)
+      let rec legal_prefix indices =
+        match indices with
+        | [] | [ _ ] -> None
+        | _ when Hoist.legal block indices -> Some indices
+        | _ ->
+          legal_prefix
+            (List.filteri (fun i _ -> i < List.length indices - 1) indices)
+      in
+      match legal_prefix site.member_indices with
+      | None ->
+        bump (fun r -> { r with rejected_legality = r.rejected_legality + 1 });
+        block
+      | Some member_indices ->
+      let members = List.map (fun i -> body.(i)) member_indices in
+      let needs_conversion =
+        match options.mode with
+        | Cdp | Branches -> true
+        | Hoist_only | Fused_macro -> false
+      in
+      let convertible =
+        options.ideal || List.for_all I.thumb_convertible members
+      in
+      if needs_conversion && not convertible then begin
+        (* All-or-nothing: the whole sequence stays untouched. *)
+        bump (fun r ->
+            { r with rejected_convertibility = r.rejected_convertibility + 1 });
+        block
+      end
+      else begin
+        let hoisted = Hoist.apply block member_indices in
+        let first = List.hd member_indices in
+        let len = List.length member_indices in
+        let chain_id = !chain_counter in
+        incr chain_counter;
+        let segment =
+          Array.to_list (Array.sub hoisted.Prog.Block.body first len)
+        in
+        let converted, ninstr, ncdp, nbr =
+          emit_segment ~options ~fresh_uid ~chain_id segment
+        in
+        let body' =
+          Array.concat
+            [
+              Array.sub hoisted.Prog.Block.body 0 first;
+              Array.of_list converted;
+              Array.sub hoisted.Prog.Block.body (first + len)
+                (Array.length hoisted.Prog.Block.body - first - len);
+            ]
+        in
+        bump (fun r ->
+            {
+              r with
+              sites_applied = r.sites_applied + 1;
+              instrs_hoisted = r.instrs_hoisted + len;
+              instrs_converted = r.instrs_converted + ninstr;
+              cdp_inserted = r.cdp_inserted + ncdp;
+              switch_branches_inserted = r.switch_branches_inserted + nbr;
+            });
+        Prog.Block.with_body body' hoisted
+      end
+    end
+  in
+  let program' =
+    Prog.Program.map_blocks
+      (fun block ->
+        match Hashtbl.find_opt by_block block.Prog.Block.id with
+        | None -> block
+        | Some sites ->
+          (* Highest start index first: rewrites at higher indices never
+             disturb the indices of sites below them (site index ranges
+             are disjoint by construction). *)
+          let sorted =
+            List.sort
+              (fun (a : Db.site) b -> compare b.start_index a.start_index)
+              sites
+          in
+          List.fold_left apply_site block sorted)
+      program
+  in
+  (program', !r)

@@ -1,0 +1,69 @@
+module I = Isa.Instr
+
+let inter l1 l2 = List.exists (fun r -> List.exists (Isa.Reg.equal r) l2) l1
+
+let mem_conflict (m : I.t) (s : I.t) =
+  match (m.mem, s.mem) with
+  | Some mm, Some sm ->
+    (* Moving a load past a load is harmless; anything involving a
+       store to the same region is not. *)
+    let either_store =
+      m.opcode = Isa.Opcode.Store || s.opcode = Isa.Opcode.Store
+    in
+    either_store && mm.region = sm.region
+  | _ -> false
+
+let check_indices body indices =
+  let n = Array.length body in
+  let rec go prev = function
+    | [] -> true
+    | i :: rest -> i > prev && i < n && go i rest
+  in
+  match indices with
+  | [] | [ _ ] -> false
+  | i :: rest -> i >= 0 && i < n && go i rest
+
+let legal (block : Prog.Block.t) indices =
+  check_indices block.body indices
+  && begin
+    let members = List.map (fun i -> block.body.(i)) indices in
+    let first = List.hd indices in
+    let last = List.fold_left (fun _ i -> i) first indices in
+    let skipped =
+      List.init (last - first + 1) (fun k -> first + k)
+      |> List.filter (fun i -> not (List.mem i indices))
+      |> List.map (fun i -> (i, block.body.(i)))
+    in
+    List.for_all
+      (fun (m_idx, m) ->
+        List.for_all
+          (fun (s_idx, s) ->
+            if s_idx > m_idx then true
+            else begin
+              (* m moves up past s *)
+              (not (inter (I.regs_read m) (I.regs_written s)))
+              && (not (inter (I.regs_written m) (I.regs_read s)))
+              && (not (inter (I.regs_written m) (I.regs_written s)))
+              && not (mem_conflict m s)
+            end)
+          skipped)
+      (List.combine indices members)
+  end
+
+let apply (block : Prog.Block.t) indices =
+  if not (legal block indices) then
+    invalid_arg "Hoist.apply: illegal or malformed hoist";
+  let body = block.body in
+  let first = List.hd indices in
+  let member_set = List.sort_uniq compare indices in
+  let members = List.map (fun i -> body.(i)) indices in
+  let new_body =
+    Array.to_list body
+    |> List.mapi (fun i ins -> (i, ins))
+    |> List.concat_map (fun (i, ins) ->
+           if i = first then members
+           else if List.mem i member_set then []
+           else [ ins ])
+    |> Array.of_list
+  in
+  Prog.Block.with_body new_body block

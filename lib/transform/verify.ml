@@ -1,0 +1,57 @@
+module I = Isa.Instr
+
+(* Marker instructions inserted by the passes: they carry no dataflow. *)
+let is_marker (i : I.t) =
+  i.opcode = Isa.Opcode.Cdp_switch
+  || (Isa.Opcode.is_control i.opcode && i.dst = None && i.srcs = [])
+
+(* For every non-marker instruction: (uid, source reg, producer uid or
+   -1 when the value comes from outside the block), plus the block's
+   final writer per register. *)
+let dataflow_summary (b : Prog.Block.t) =
+  let last = Array.make Isa.Reg.count (-1) in
+  let reads = ref [] in
+  Array.iter
+    (fun (ins : I.t) ->
+      if not (is_marker ins) then begin
+        List.iter
+          (fun src ->
+            reads :=
+              (ins.I.uid, Isa.Reg.index src, last.(Isa.Reg.index src))
+              :: !reads)
+          (I.regs_read ins);
+        List.iter
+          (fun d -> last.(Isa.Reg.index d) <- ins.I.uid)
+          (I.regs_written ins)
+      end)
+    b.body;
+  (List.sort compare !reads, Array.to_list last)
+
+let dataflow_equivalent a b = dataflow_summary a = dataflow_summary b
+
+let program_equivalent p p' =
+  let a = Prog.Program.blocks p and b = Prog.Program.blocks p' in
+  Array.length a = Array.length b
+  && begin
+    let ok = ref true in
+    Array.iteri
+      (fun i block -> if not (dataflow_equivalent block b.(i)) then ok := false)
+      a;
+    !ok
+  end
+
+let check_pass pass program =
+  let program', report = pass program in
+  let a = Prog.Program.blocks program and b = Prog.Program.blocks program' in
+  if Array.length a <> Array.length b then Error "block count changed"
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun i block ->
+        if !bad = None && not (dataflow_equivalent block b.(i)) then
+          bad := Some block.Prog.Block.id)
+      a;
+    match !bad with
+    | Some id -> Error (Printf.sprintf "dataflow changed in block %d" id)
+    | None -> Ok (program', report)
+  end

@@ -1,0 +1,55 @@
+(** Empirical distributions: integer histograms and CDFs.
+
+    Used to report the paper's distribution figures (Fig. 1b chain-gap
+    histogram, Fig. 5 IC length/spread and coverage CDFs). *)
+
+module Histogram : sig
+  type t
+  (** Counts of integer-valued observations. *)
+
+  val create : unit -> t
+  val add : t -> int -> unit
+  val addn : t -> int -> int -> unit
+  (** [addn h v n] records [n] occurrences of value [v]. *)
+
+  val count : t -> int
+  (** Total number of observations. *)
+
+  val get : t -> int -> int
+  (** Occurrences of one value. *)
+
+  val max_value : t -> int
+  (** Largest observed value; 0 when empty. *)
+
+  val fraction : t -> int -> float
+  (** [fraction h v] is the share of observations equal to [v]. *)
+
+  val fraction_at_least : t -> int -> float
+  (** Share of observations [>= v]. *)
+
+  val bins : t -> (int * int) list
+  (** All (value, count) pairs in increasing value order. *)
+
+  val mean : t -> float
+end
+
+module Cdf : sig
+  type t
+  (** Piecewise-constant empirical CDF over float-valued points with
+      attached weights. *)
+
+  val of_weighted : (float * float) list -> t
+  (** [of_weighted pts] builds a CDF from (value, weight) pairs.  Weights
+      need not be normalised.  Raises on an empty list or non-positive
+      total weight. *)
+
+  val eval : t -> float -> float
+  (** [eval c x] is P(value <= x) in [0,1]. *)
+
+  val quantile : t -> float -> float
+  (** [quantile c q] is the smallest value [v] with [eval c v >= q];
+      [q] in [0,1]. *)
+
+  val points : t -> (float * float) list
+  (** The (value, cumulative-probability) support points. *)
+end

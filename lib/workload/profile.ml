@@ -1,0 +1,102 @@
+type suite = Mobile | Spec_int | Spec_float
+
+let suite_name = function
+  | Mobile -> "Mobile"
+  | Spec_int -> "SPEC.int"
+  | Spec_float -> "SPEC.float"
+
+type t = {
+  name : string;
+  suite : suite;
+  activity : string;
+  seed : int;
+  functions : int;
+  dispatcher_slots : int;
+  blocks_per_function : int * int;
+  body_instrs : int * int;
+  call_prob : float;
+  call_locality : float;
+  branch_prob : float;
+  loop_prob : float;
+  loop_iterations : int;
+  branch_bias : float * float;
+  chain_groups : int * int;
+  spine_len : int * int;
+  chain_gap : int * int;
+  fanout : int * int;
+  gap_fanout : int * int;
+  chain_linked : bool;
+  spine_load_frac : float;
+  isolated_groups : int * int;
+  isolated_fanout : int * int;
+  loop_carried : bool;
+  leaf_load_frac : float;
+  leaf_store_frac : float;
+  load_frac : float;
+  store_frac : float;
+  mul_frac : float;
+  div_frac : float;
+  fp_frac : float;
+  predicated_frac : float;
+  high_reg_frac : float;
+  chain_unconvertible_frac : float;
+  regions : int;
+  load_stride : int;
+  load_working_set : int;
+  load_randomness : float;
+}
+
+let check_range name (lo, hi) =
+  if lo < 0 || hi < lo then
+    invalid_arg (Printf.sprintf "Profile: bad range for %s" name)
+
+let check_prob name p =
+  if p < 0.0 || p > 1.0 then
+    invalid_arg (Printf.sprintf "Profile: %s must be a probability" name)
+
+let validate t =
+  if t.functions <= 0 then invalid_arg "Profile: functions must be positive";
+  if t.dispatcher_slots < 1 then
+    invalid_arg "Profile: dispatcher_slots must be >= 1";
+  check_range "blocks_per_function" t.blocks_per_function;
+  if fst t.blocks_per_function < 1 then
+    invalid_arg "Profile: at least one block per function";
+  check_range "body_instrs" t.body_instrs;
+  check_range "chain_groups" t.chain_groups;
+  check_range "spine_len" t.spine_len;
+  check_range "chain_gap" t.chain_gap;
+  check_range "fanout" t.fanout;
+  check_range "gap_fanout" t.gap_fanout;
+  check_range "isolated_groups" t.isolated_groups;
+  check_range "isolated_fanout" t.isolated_fanout;
+  List.iter
+    (fun (name, p) -> check_prob name p)
+    [
+      ("call_prob", t.call_prob);
+      ("call_locality", t.call_locality);
+      ("branch_prob", t.branch_prob);
+      ("loop_prob", t.loop_prob);
+      ("branch_bias.lo", fst t.branch_bias);
+      ("branch_bias.hi", snd t.branch_bias);
+      ("spine_load_frac", t.spine_load_frac);
+      ("leaf_load_frac", t.leaf_load_frac);
+      ("leaf_store_frac", t.leaf_store_frac);
+      ("load_frac", t.load_frac);
+      ("store_frac", t.store_frac);
+      ("mul_frac", t.mul_frac);
+      ("div_frac", t.div_frac);
+      ("fp_frac", t.fp_frac);
+      ("predicated_frac", t.predicated_frac);
+      ("high_reg_frac", t.high_reg_frac);
+      ("chain_unconvertible_frac", t.chain_unconvertible_frac);
+      ("load_randomness", t.load_randomness);
+    ];
+  if t.loop_iterations < 1 then
+    invalid_arg "Profile: loop_iterations must be >= 1";
+  if t.regions < 1 then invalid_arg "Profile: regions must be >= 1";
+  if t.load_stride < 1 then invalid_arg "Profile: load_stride must be >= 1";
+  if t.load_working_set < t.load_stride then
+    invalid_arg "Profile: working set smaller than stride"
+
+let pp fmt t =
+  Format.fprintf fmt "%s (%s): %s" t.name (suite_name t.suite) t.activity

@@ -1,0 +1,90 @@
+(** Workload profiles.
+
+    A profile is the statistical description of one application from
+    Table II (or one SPEC CPU member): code shape, control behaviour,
+    dependence-chain structure, instruction mix, Thumb-convertibility
+    obstacles and memory behaviour.  {!Gen.program} realises a profile
+    as a concrete synthetic program; the parameters below are calibrated
+    so the generated streams exhibit the distributions the paper reports
+    (Figs. 1b, 3c, 5a). *)
+
+type suite = Mobile | Spec_int | Spec_float
+
+val suite_name : suite -> string
+
+type t = {
+  name : string;
+  suite : suite;
+  activity : string;  (** the Table II "activities performed" column *)
+  seed : int;
+  (* -- code shape ------------------------------------------------- *)
+  functions : int;
+  dispatcher_slots : int;
+      (** handler call-sites in the event-dispatcher function; each loop
+          iteration takes a random subset of them, which is what keeps a
+          mobile app's instruction stream dispersing over its large code
+          base *)
+  blocks_per_function : int * int;  (** inclusive range *)
+  body_instrs : int * int;
+      (** target body instructions per block (chains + filler) *)
+  call_prob : float;   (** probability a non-final block ends in a call *)
+  call_locality : float;
+      (** probability a call goes to one of the 8 "nearby" functions
+          rather than uniformly anywhere *)
+  branch_prob : float; (** probability of a conditional terminator *)
+  loop_prob : float;   (** conditional branch is a backward loop edge *)
+  loop_iterations : int; (** expected trips of a loop edge *)
+  branch_bias : float * float; (** forward taken-bias range *)
+  (* -- critical chain structure ----------------------------------- *)
+  chain_groups : int * int;
+      (** critical chain groups per block (the mobile pattern:
+          high-fanout spine nodes separated by low-fanout links) *)
+  spine_len : int * int;   (** high-fanout nodes per chain *)
+  chain_gap : int * int;   (** low-fanout links between spine nodes *)
+  fanout : int * int;      (** consumers per spine node *)
+  gap_fanout : int * int;  (** consumers per gap link (below the critical
+                               threshold, but they raise the chain's
+                               average fanout per instruction) *)
+  chain_linked : bool;
+      (** optional stress pattern: chains thread through a dedicated
+          link register (r5), each chain's root consuming the previous
+          chain's tail.  Off in all shipped profiles — it creates
+          arbitrarily long cross-block ICs, which is the SPEC shape
+          (Fig. 5a), not the mobile one; SPEC uses [loop_carried]
+          instead *)
+  spine_load_frac : float; (** probability the chain root is a load *)
+  isolated_groups : int * int;
+      (** SPEC-style isolated high-fanout trees per block (a root with
+          many consumers and no dependent critical instruction) *)
+  isolated_fanout : int * int;
+  loop_carried : bool;
+      (** thread an accumulator dependence through loop iterations —
+          the source of SPEC's very long, widely spread ICs *)
+  leaf_load_frac : float;
+      (** probability a fanout-tree consumer is a load *)
+  leaf_store_frac : float;
+      (** probability a fanout-tree consumer is a store *)
+  (* -- filler instruction mix (fractions of filler; rest is ALU) --- *)
+  load_frac : float;
+  store_frac : float;
+  mul_frac : float;
+  div_frac : float;
+  fp_frac : float;     (** also the probability fanout-tree leaves are FP *)
+  (* -- Thumb-convertibility obstacles ------------------------------ *)
+  predicated_frac : float; (** filler ALU predication probability *)
+  high_reg_frac : float;   (** filler using registers above R10 *)
+  chain_unconvertible_frac : float;
+      (** probability a chain member is made non-convertible, leaving
+          the whole chain unoptimizable (all-or-nothing rule) *)
+  (* -- memory behaviour -------------------------------------------- *)
+  regions : int;
+  load_stride : int;
+  load_working_set : int;
+  load_randomness : float;
+}
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on out-of-range parameters (negative
+    ranges, probabilities outside [0,1], empty code). *)
+
+val pp : Format.formatter -> t -> unit

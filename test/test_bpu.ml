@@ -1,0 +1,73 @@
+(* Tests for the branch predictors. *)
+
+module P = Bpu.Predictor
+
+let test_perfect () =
+  let p = P.create P.Perfect in
+  for i = 0 to 99 do
+    Alcotest.(check bool) "always correct" true
+      (P.predict_and_update p ~pc:(i * 4) ~taken:(i mod 3 = 0))
+  done;
+  Alcotest.(check (float 1e-9)) "accuracy 1" 1.0 (P.accuracy p)
+
+let test_static () =
+  let p = P.create P.Static_taken in
+  Alcotest.(check bool) "taken correct" true
+    (P.predict_and_update p ~pc:0 ~taken:true);
+  Alcotest.(check bool) "not-taken wrong" false
+    (P.predict_and_update p ~pc:0 ~taken:false)
+
+let test_two_level_learns_bias () =
+  let p = P.create P.default_kind in
+  (* strongly biased branch becomes predictable *)
+  for _ = 1 to 2000 do
+    ignore (P.predict_and_update p ~pc:0x40 ~taken:true)
+  done;
+  let before = (P.stats p).P.mispredicts in
+  for _ = 1 to 1000 do
+    ignore (P.predict_and_update p ~pc:0x40 ~taken:true)
+  done;
+  Alcotest.(check int) "no more mispredicts once trained" before
+    (P.stats p).P.mispredicts
+
+let test_two_level_learns_pattern () =
+  let p = P.create P.default_kind in
+  (* alternating pattern is captured by global history *)
+  for i = 0 to 4000 do
+    ignore (P.predict_and_update p ~pc:0x80 ~taken:(i mod 2 = 0))
+  done;
+  let s0 = (P.stats p).P.mispredicts in
+  for i = 0 to 999 do
+    ignore (P.predict_and_update p ~pc:0x80 ~taken:(i mod 2 = 1))
+  done;
+  let s1 = (P.stats p).P.mispredicts in
+  Alcotest.(check bool) "pattern mostly predicted" true (s1 - s0 < 100)
+
+let test_stats_counting () =
+  let p = P.create P.Static_taken in
+  ignore (P.predict_and_update p ~pc:0 ~taken:true);
+  ignore (P.predict_and_update p ~pc:0 ~taken:false);
+  let s = P.stats p in
+  Alcotest.(check int) "lookups" 2 s.P.lookups;
+  Alcotest.(check int) "mispredicts" 1 s.P.mispredicts;
+  Alcotest.(check (float 1e-9)) "accuracy" 0.5 (P.accuracy p)
+
+let test_entries_power_of_two () =
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "Predictor.create: entries must be a power of two")
+    (fun () ->
+      ignore (P.create (P.Two_level { entries = 1000; history_bits = 8 })))
+
+let () =
+  Alcotest.run "bpu"
+    [
+      ( "predictor",
+        [
+          Alcotest.test_case "perfect" `Quick test_perfect;
+          Alcotest.test_case "static" `Quick test_static;
+          Alcotest.test_case "learns bias" `Quick test_two_level_learns_bias;
+          Alcotest.test_case "learns pattern" `Quick test_two_level_learns_pattern;
+          Alcotest.test_case "stats" `Quick test_stats_counting;
+          Alcotest.test_case "validation" `Quick test_entries_power_of_two;
+        ] );
+    ]

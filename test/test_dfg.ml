@@ -1,0 +1,222 @@
+(* Tests for the DFG and instruction-chain analysis. *)
+
+module I = Isa.Instr
+module Op = Isa.Opcode
+module B = Prog.Block
+module P = Prog.Program
+
+let r = Isa.Reg.r
+
+let mk uid ?dst ?(srcs = []) op = I.make ~uid ~opcode:op ?dst ~srcs ()
+
+(* body: 0: r0 <- .          (root, fanout 3: 1,2,3)
+         1: r1 <- r0
+         2: r2 <- r0
+         3: r3 <- r0, then overwritten chains
+         4: r4 <- r1, r2     (joins two paths)
+         5: r5 <- r4          *)
+let diamond_trace () =
+  let body =
+    [|
+      mk 0 ~dst:(r 0) Op.Alu;
+      mk 1 ~dst:(r 1) ~srcs:[ r 0 ] Op.Alu;
+      mk 2 ~dst:(r 2) ~srcs:[ r 0 ] Op.Alu;
+      mk 3 ~dst:(r 3) ~srcs:[ r 0 ] Op.Alu;
+      mk 4 ~dst:(r 4) ~srcs:[ r 1; r 2 ] Op.Alu;
+      mk 5 ~dst:(r 5) ~srcs:[ r 4 ] Op.Alu;
+    |]
+  in
+  let p =
+    P.make ~entry:0 ~blocks:[ B.make ~id:0 ~func:0 ~body ~term:(B.Jump 0) ]
+  in
+  Prog.Trace.expand p ~seed:1 (Prog.Walk.path_visits p ~seed:1 ~visits:1)
+
+let test_edges () =
+  let t = diamond_trace () in
+  let g = Dfg.of_events t in
+  Alcotest.(check int) "root fanout" 3 (Dfg.fanout g 0);
+  Alcotest.(check (list int)) "node 4 preds" [ 1; 2 ] (Dfg.node g 4).Dfg.preds;
+  Alcotest.(check (list int)) "node 0 succs" [ 1; 2; 3 ] (Dfg.node g 0).Dfg.succs;
+  Alcotest.(check (list int)) "roots" [ 0; 6 ] (Dfg.roots g)
+(* node 6 is the synthetic jump terminator, an isolated root *)
+
+let test_last_writer_semantics () =
+  (* a second write to r0 redirects subsequent readers *)
+  let body =
+    [|
+      mk 0 ~dst:(r 0) Op.Alu;
+      mk 1 ~dst:(r 0) Op.Alu;
+      mk 2 ~dst:(r 1) ~srcs:[ r 0 ] Op.Alu;
+    |]
+  in
+  let p =
+    P.make ~entry:0 ~blocks:[ B.make ~id:0 ~func:0 ~body ~term:(B.Jump 0) ]
+  in
+  let t = Prog.Trace.expand p ~seed:1 (Prog.Walk.path_visits p ~seed:1 ~visits:1) in
+  let g = Dfg.of_events t in
+  Alcotest.(check int) "old writer has no consumers" 0 (Dfg.fanout g 0);
+  Alcotest.(check int) "new writer has the consumer" 1 (Dfg.fanout g 1)
+
+let test_window () =
+  let t = diamond_trace () in
+  let g = Dfg.of_events ~lo:1 ~hi:4 t in
+  Alcotest.(check int) "window size" 3 (Dfg.size g);
+  (* within the window, producers outside are invisible: all roots *)
+  Alcotest.(check (list int)) "all roots in window" [ 0; 1; 2 ] (Dfg.roots g)
+
+let test_toposort () =
+  let t = diamond_trace () in
+  let g = Dfg.of_events t in
+  Alcotest.(check (list int)) "stream order" [ 0; 1; 2; 3; 4; 5; 6 ]
+    (Dfg.toposort g)
+
+let test_high_fanout () =
+  let t = diamond_trace () in
+  let g = Dfg.of_events t in
+  Alcotest.(check bool) "fanout 3 >= threshold 3" true
+    (Dfg.is_high_fanout ~threshold:3 g 0);
+  Alcotest.(check bool) "not at threshold 4" false
+    (Dfg.is_high_fanout ~threshold:4 g 0)
+
+let test_chain_gaps () =
+  let t = diamond_trace () in
+  let g = Dfg.of_events t in
+  (* with threshold 2: node 0 (fanout 3) and node 4 (fanout 1)... only
+     node 0 is high-fanout; its slice has no other critical node. *)
+  let h = Dfg.chain_gaps ~threshold:2 g in
+  Alcotest.(check int) "one critical node recorded" 1
+    (Util.Dist.Histogram.count h);
+  Alcotest.(check int) "no dependent critical" 1 (Util.Dist.Histogram.get h (-1))
+
+(* ------------------------------ ICs -------------------------------- *)
+
+let test_ic_enumerate () =
+  let t = diamond_trace () in
+  let g = Dfg.of_events t in
+  let ics = Dfg.Ic.enumerate g in
+  Alcotest.(check bool) "at least 2 ICs" true (List.length ics >= 2);
+  List.iter
+    (fun (ic : Dfg.Ic.t) ->
+      Alcotest.(check bool) "every enumerated IC satisfies is_ic" true
+        (Dfg.Ic.is_ic g ic.nodes))
+    ics;
+  (* the diamond join (node 4) requires both 1 and 2: a plain path
+     0->1->4 is not independently schedulable *)
+  Alcotest.(check bool) "0->1->4 is not an IC" false
+    (Dfg.Ic.is_ic g [ 0; 1; 4 ])
+
+let test_ic_prefixes () =
+  let t = diamond_trace () in
+  let g = Dfg.of_events t in
+  let ic = { Dfg.Ic.nodes = [ 0; 1 ] } in
+  Alcotest.(check bool) "prefix of IC is IC" true (Dfg.Ic.is_ic g ic.nodes);
+  let three = { Dfg.Ic.nodes = [ 0; 1; 2 ] } in
+  List.iter
+    (fun (p : Dfg.Ic.t) ->
+      Alcotest.(check bool) "prefixes are ICs" true (Dfg.Ic.is_ic g p.nodes))
+    (Dfg.Ic.prefixes three)
+
+let test_ic_criticality_and_spread () =
+  let t = diamond_trace () in
+  let g = Dfg.of_events t in
+  let ic = { Dfg.Ic.nodes = [ 0; 3 ] } in
+  Alcotest.(check (float 1e-9)) "avg fanout" 1.5 (Dfg.Ic.criticality g ic);
+  Alcotest.(check int) "spread" 3 (Dfg.Ic.spread g ic)
+
+let test_ic_max_len () =
+  let t = diamond_trace () in
+  let g = Dfg.of_events t in
+  let ics = Dfg.Ic.enumerate ~max_len:1 g in
+  List.iter
+    (fun ic ->
+      Alcotest.(check bool) "length capped" true (Dfg.Ic.length ic <= 1))
+    ics
+
+let test_ic_enumerate_greedy () =
+  let t = diamond_trace () in
+  let g = Dfg.of_events t in
+  let ics = Dfg.Ic.enumerate_greedy g in
+  List.iter
+    (fun (ic : Dfg.Ic.t) ->
+      Alcotest.(check bool) "greedy clusters satisfy is_ic" true
+        (Dfg.Ic.is_ic g ic.nodes))
+    ics;
+  (* the cluster from node 0 absorbs the whole diamond *)
+  let root_cluster =
+    List.find (fun (ic : Dfg.Ic.t) -> List.hd ic.nodes = 0) ics
+  in
+  Alcotest.(check (list int)) "diamond fully absorbed" [ 0; 1; 2; 3; 4; 5 ]
+    root_cluster.nodes
+
+(* property: on random small programs every enumerated IC checks out *)
+let arbitrary_trace =
+  QCheck.make
+    QCheck.Gen.(
+      let* seed = int_range 0 10_000 in
+      let* n = int_range 4 20 in
+      let rng = Util.Rng.create seed in
+      let body =
+        Array.init n (fun i ->
+            let dst = r (Util.Rng.int rng 8) in
+            let srcs =
+              if i = 0 || Util.Rng.bool rng then []
+              else [ r (Util.Rng.int rng 8) ]
+            in
+            mk i ~dst ~srcs Op.Alu)
+      in
+      let p =
+        P.make ~entry:0
+          ~blocks:[ B.make ~id:0 ~func:0 ~body ~term:(B.Jump 0) ]
+      in
+      return
+        (Prog.Trace.expand p ~seed
+           (Prog.Walk.path_visits p ~seed ~visits:2)))
+
+let prop_enumerated_ics_valid =
+  QCheck.Test.make ~name:"enumerated ICs satisfy the IC property" ~count:200
+    arbitrary_trace (fun t ->
+      let g = Dfg.of_events t in
+      List.for_all
+        (fun (ic : Dfg.Ic.t) -> Dfg.Ic.is_ic g ic.nodes)
+        (Dfg.Ic.enumerate ~max_paths:64 g)
+      && List.for_all
+           (fun (ic : Dfg.Ic.t) -> Dfg.Ic.is_ic g ic.nodes)
+           (Dfg.Ic.enumerate_greedy g))
+
+let prop_fanout_conserved =
+  QCheck.Test.make ~name:"sum of fanouts = sum of in-degrees" ~count:200
+    arbitrary_trace (fun t ->
+      let g = Dfg.of_events t in
+      let out = ref 0 and inn = ref 0 in
+      Array.iter
+        (fun (n : Dfg.node) ->
+          out := !out + List.length n.Dfg.succs;
+          inn := !inn + List.length n.Dfg.preds)
+        (Dfg.nodes g);
+      !out = !inn)
+
+let () =
+  Alcotest.run "dfg"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "edges" `Quick test_edges;
+          Alcotest.test_case "last writer" `Quick test_last_writer_semantics;
+          Alcotest.test_case "window" `Quick test_window;
+          Alcotest.test_case "toposort" `Quick test_toposort;
+          Alcotest.test_case "high fanout" `Quick test_high_fanout;
+          Alcotest.test_case "chain gaps" `Quick test_chain_gaps;
+        ] );
+      ( "ic",
+        [
+          Alcotest.test_case "enumerate" `Quick test_ic_enumerate;
+          Alcotest.test_case "prefixes" `Quick test_ic_prefixes;
+          Alcotest.test_case "criticality & spread" `Quick
+            test_ic_criticality_and_spread;
+          Alcotest.test_case "max_len" `Quick test_ic_max_len;
+          Alcotest.test_case "greedy clusters" `Quick test_ic_enumerate_greedy;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_enumerated_ics_valid; prop_fanout_conserved ] );
+    ]

@@ -1,0 +1,87 @@
+(* Tests for the experiment harness and the cheap experiment entries.
+   The full figure suite runs in bench/main.exe; here we verify the
+   machinery: caching, registry completeness, rendering and the worked
+   example's result. *)
+
+let test_registry_complete () =
+  let ids = List.map (fun (e : Experiments.entry) -> e.id) Experiments.all in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (id ^ " registered") true (List.mem id ids))
+    [ "tab1"; "tab2"; "fig1"; "fig2"; "fig3"; "fig5"; "fig8"; "fig10";
+      "fig11"; "fig12"; "fig13"; "ablations" ];
+  Alcotest.(check bool) "find works" true (Experiments.find "fig10" <> None);
+  Alcotest.(check bool) "find rejects unknown" true
+    (Experiments.find "fig99" = None)
+
+let test_tables_render () =
+  let t1 = Experiments.Tables.table_i () in
+  let t2 = Experiments.Tables.table_ii () in
+  Alcotest.(check bool) "table I non-empty" true (String.length t1 > 100);
+  Alcotest.(check bool) "table II non-empty" true (String.length t2 > 100)
+
+let test_worked_example () =
+  let c = Experiments.Worked_example.example () in
+  Alcotest.(check bool) "chain-first is faster" true (c.saved_cycles > 0);
+  Alcotest.(check bool) "schedules complete" true
+    (c.fanout_first.cycles > 0 && c.chain_first.cycles > 0);
+  let rendered = Experiments.Worked_example.render c in
+  Alcotest.(check bool) "render non-empty" true (String.length rendered > 100)
+
+let test_scheduler_respects_deps () =
+  (* node 1 depends on node 0: it can never issue in cycle 0 *)
+  let s =
+    Experiments.Worked_example.schedule ~width:2 ~preds:[| []; [ 0 ] |]
+      ~priority:(fun i -> i)
+      ()
+  in
+  Alcotest.(check int) "two cycles" 2 s.cycles;
+  (match s.order with
+  | (0, first) :: _ ->
+    Alcotest.(check (list int)) "only root in cycle 0" [ 0 ] first
+  | _ -> Alcotest.fail "no schedule");
+  (* all nodes issued exactly once *)
+  let issued = List.concat_map snd s.order in
+  Alcotest.(check (list int)) "all issued" [ 0; 1 ] (List.sort compare issued)
+
+let test_harness_caches () =
+  let h = Experiments.Harness.create ~instrs:10_000 () in
+  let app = Option.get (Workload.Apps.find "Music") in
+  let t0 = Unix.gettimeofday () in
+  let a = Experiments.Harness.stats h app Critics.Scheme.Baseline in
+  let cold = Unix.gettimeofday () -. t0 in
+  let t1 = Unix.gettimeofday () in
+  let b = Experiments.Harness.stats h app Critics.Scheme.Baseline in
+  let warm = Unix.gettimeofday () -. t1 in
+  Alcotest.(check int) "same result" a.cycles b.cycles;
+  Alcotest.(check bool) "cached lookup much faster" true
+    (warm < cold /. 10.0 || warm < 0.001)
+
+let test_harness_speedup_zero_for_baseline () =
+  let h = Experiments.Harness.create ~instrs:10_000 () in
+  let app = Option.get (Workload.Apps.find "Music") in
+  Alcotest.(check (float 1e-9)) "baseline speedup is zero" 0.0
+    (Experiments.Harness.speedup h app Critics.Scheme.Baseline)
+
+let test_suites_structure () =
+  Alcotest.(check int) "three suites" 3 (List.length Experiments.Harness.suites);
+  List.iter
+    (fun (name, apps) ->
+      Alcotest.(check bool) (name ^ " non-empty") true (apps <> []))
+    Experiments.Harness.suites
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "machinery",
+        [
+          Alcotest.test_case "registry" `Quick test_registry_complete;
+          Alcotest.test_case "tables" `Quick test_tables_render;
+          Alcotest.test_case "worked example" `Quick test_worked_example;
+          Alcotest.test_case "scheduler deps" `Quick test_scheduler_respects_deps;
+          Alcotest.test_case "harness caching" `Quick test_harness_caches;
+          Alcotest.test_case "baseline speedup" `Quick
+            test_harness_speedup_zero_for_baseline;
+          Alcotest.test_case "suites" `Quick test_suites_structure;
+        ] );
+    ]

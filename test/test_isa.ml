@@ -1,0 +1,185 @@
+(* Tests for the ISA library: registers, opcode classes, instructions
+   and the Thumb-convertibility rules the CritIC pass relies on. *)
+
+module Reg = Isa.Reg
+module Op = Isa.Opcode
+module I = Isa.Instr
+
+let test_reg_bounds () =
+  Alcotest.check_raises "negative register"
+    (Invalid_argument "Reg.r: index out of range") (fun () ->
+      ignore (Reg.r (-1)));
+  Alcotest.check_raises "register 16"
+    (Invalid_argument "Reg.r: index out of range") (fun () ->
+      ignore (Reg.r 16));
+  Alcotest.(check int) "pc is r15" 15 (Reg.index Reg.pc);
+  Alcotest.(check int) "sp is r13" 13 (Reg.index Reg.sp);
+  Alcotest.(check int) "lr is r14" 14 (Reg.index Reg.lr)
+
+let test_thumb_addressable () =
+  Alcotest.(check bool) "r10 ok" true (Reg.thumb_addressable (Reg.r 10));
+  Alcotest.(check bool) "r11 not" false (Reg.thumb_addressable (Reg.r 11));
+  Alcotest.(check bool) "r0 ok" true (Reg.thumb_addressable (Reg.r 0))
+
+let test_latencies () =
+  Alcotest.(check int) "alu 1" 1 (Op.exec_latency Op.Alu);
+  Alcotest.(check bool) "div long" true (Op.is_long_latency Op.Div);
+  Alcotest.(check bool) "alu short" false (Op.is_long_latency Op.Alu);
+  List.iter
+    (fun op ->
+      Alcotest.(check bool)
+        (Op.to_string op ^ " has positive latency")
+        true
+        (Op.exec_latency op > 0))
+    Op.all
+
+let test_opcode_classes () =
+  Alcotest.(check bool) "load is memory" true (Op.is_memory Op.Load);
+  Alcotest.(check bool) "store is memory" true (Op.is_memory Op.Store);
+  Alcotest.(check bool) "alu not memory" false (Op.is_memory Op.Alu);
+  Alcotest.(check bool) "branch is control" true (Op.is_control Op.Branch);
+  Alcotest.(check bool) "call is control" true (Op.is_control Op.Call);
+  Alcotest.(check bool) "cdp not thumb-expressible" false
+    (Op.thumb_expressible Op.Cdp_switch)
+
+let mk ?dst ?(srcs = []) ?cond ?encoding ?mem op =
+  I.make ~uid:1 ~opcode:op ?dst ~srcs ?cond ?encoding ?mem ()
+
+let test_sizes () =
+  Alcotest.(check int) "arm32 is 4 bytes" 4 (I.size_bytes (mk Op.Alu));
+  Alcotest.(check int) "thumb is 2 bytes" 2
+    (I.size_bytes (mk ~encoding:I.Thumb16 ~dst:(Reg.r 1) Op.Alu))
+
+let test_thumb_convertibility () =
+  let plain = mk ~dst:(Reg.r 2) ~srcs:[ Reg.r 3 ] Op.Alu in
+  Alcotest.(check bool) "plain convertible" true (I.thumb_convertible plain);
+  let predicated = mk ~dst:(Reg.r 2) ~cond:I.Ne Op.Alu in
+  Alcotest.(check bool) "predicated not" false (I.thumb_convertible predicated);
+  let high = mk ~dst:(Reg.r 12) Op.Alu in
+  Alcotest.(check bool) "high dst not" false (I.thumb_convertible high);
+  let high_src = mk ~dst:(Reg.r 2) ~srcs:[ Reg.r 11 ] Op.Alu in
+  Alcotest.(check bool) "high src not" false (I.thumb_convertible high_src)
+
+let test_make_rejects_bad_thumb () =
+  Alcotest.check_raises "thumb predicated rejected"
+    (Invalid_argument "Instr.make: instruction not representable in Thumb16")
+    (fun () -> ignore (mk ~cond:I.Ne ~encoding:I.Thumb16 Op.Alu))
+
+let test_make_rejects_mem_on_alu () =
+  let mem = { I.region = 0; stride = 4; working_set = 64; randomness = 0.0 } in
+  Alcotest.check_raises "mem on alu rejected"
+    (Invalid_argument "Instr.make: memory signature on non-memory opcode")
+    (fun () -> ignore (mk ~mem Op.Alu))
+
+let test_with_encoding () =
+  let plain = mk ~dst:(Reg.r 2) Op.Alu in
+  let t = I.with_encoding I.Thumb16 plain in
+  Alcotest.(check int) "converted size" 2 (I.size_bytes t);
+  Alcotest.check_raises "refuses unconvertible"
+    (Invalid_argument "Instr.with_encoding: not Thumb-convertible")
+    (fun () -> ignore (I.with_encoding I.Thumb16 (mk ~cond:I.Ne Op.Alu)))
+
+let test_force_thumb () =
+  let predicated = mk ~cond:I.Ne ~dst:(Reg.r 2) Op.Alu in
+  let forced = I.force_thumb predicated in
+  Alcotest.(check int) "forced to 2 bytes" 2 (I.size_bytes forced)
+
+let test_cdp () =
+  let c = I.cdp ~uid:9 ~following:5 in
+  Alcotest.(check int) "cdp occupies 16 bits" 2 (I.size_bytes c);
+  Alcotest.(check int) "count recorded" 5 c.cdp_count;
+  Alcotest.check_raises "max 9"
+    (Invalid_argument "Instr.cdp: a single CDP announces 1..9 instructions")
+    (fun () -> ignore (I.cdp ~uid:1 ~following:10));
+  Alcotest.check_raises "min 1"
+    (Invalid_argument "Instr.cdp: a single CDP announces 1..9 instructions")
+    (fun () -> ignore (I.cdp ~uid:1 ~following:0))
+
+let test_regs_read_written () =
+  let store = mk ~dst:(Reg.r 1) ~srcs:[ Reg.r 2 ] Op.Store in
+  Alcotest.(check int) "store reads data+addr" 2
+    (List.length (I.regs_read store));
+  Alcotest.(check int) "store writes nothing" 0
+    (List.length (I.regs_written store));
+  let alu = mk ~dst:(Reg.r 1) ~srcs:[ Reg.r 2 ] Op.Alu in
+  Alcotest.(check int) "alu writes dst" 1 (List.length (I.regs_written alu))
+
+let test_structural_key () =
+  let a = mk ~dst:(Reg.r 1) ~srcs:[ Reg.r 2 ] Op.Alu in
+  let b = I.with_uid 999 a in
+  Alcotest.(check string) "key ignores uid" (I.structural_key a)
+    (I.structural_key b);
+  let c = mk ~dst:(Reg.r 3) ~srcs:[ Reg.r 2 ] Op.Alu in
+  Alcotest.(check bool) "key sees operands" false
+    (I.structural_key a = I.structural_key c)
+
+(* qcheck: instruction generator over the legal space *)
+let arbitrary_instr =
+  let open QCheck.Gen in
+  let gen =
+    let* opcode =
+      oneofl [ Op.Alu; Op.Alu_shift; Op.Mul; Op.Load; Op.Store; Op.Fp_add ]
+    in
+    let* dst = int_range 0 12 in
+    let* src = int_range 0 12 in
+    let* pred = bool in
+    let mem =
+      if Op.is_memory opcode then
+        Some { I.region = 0; stride = 8; working_set = 128; randomness = 0.0 }
+      else None
+    in
+    return
+      (I.make ~uid:0 ~opcode ~dst:(Reg.r dst) ~srcs:[ Reg.r src ]
+         ~cond:(if pred then I.Ne else I.Always)
+         ?mem ())
+  in
+  QCheck.make gen
+
+let prop_convertible_iff =
+  QCheck.Test.make ~name:"thumb_convertible matches the rule" ~count:500
+    arbitrary_instr (fun i ->
+      let expected =
+        (not (I.is_predicated i))
+        && Op.thumb_expressible i.opcode
+        && List.for_all Reg.thumb_addressable (i.srcs @ Option.to_list i.dst)
+      in
+      I.thumb_convertible i = expected)
+
+let prop_roundtrip_encoding =
+  QCheck.Test.make ~name:"convertible instrs roundtrip encodings" ~count:500
+    arbitrary_instr (fun i ->
+      QCheck.assume (I.thumb_convertible i);
+      let t = I.with_encoding I.Thumb16 i in
+      let back = I.with_encoding I.Arm32 t in
+      I.size_bytes t = 2 && I.size_bytes back = 4
+      && I.structural_key back = I.structural_key i)
+
+let () =
+  Alcotest.run "isa"
+    [
+      ( "reg",
+        [
+          Alcotest.test_case "bounds" `Quick test_reg_bounds;
+          Alcotest.test_case "thumb addressable" `Quick test_thumb_addressable;
+        ] );
+      ( "opcode",
+        [
+          Alcotest.test_case "latencies" `Quick test_latencies;
+          Alcotest.test_case "classes" `Quick test_opcode_classes;
+        ] );
+      ( "instr",
+        [
+          Alcotest.test_case "sizes" `Quick test_sizes;
+          Alcotest.test_case "thumb convertibility" `Quick test_thumb_convertibility;
+          Alcotest.test_case "make rejects bad thumb" `Quick test_make_rejects_bad_thumb;
+          Alcotest.test_case "make rejects mem on alu" `Quick test_make_rejects_mem_on_alu;
+          Alcotest.test_case "with_encoding" `Quick test_with_encoding;
+          Alcotest.test_case "force_thumb" `Quick test_force_thumb;
+          Alcotest.test_case "cdp" `Quick test_cdp;
+          Alcotest.test_case "regs read/written" `Quick test_regs_read_written;
+          Alcotest.test_case "structural key" `Quick test_structural_key;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_convertible_iff; prop_roundtrip_encoding ] );
+    ]

@@ -1,0 +1,220 @@
+(* Tests for the memory hierarchy: caches, DRAM, prefetchers. *)
+
+module C = Mem.Cache
+module D = Mem.Dram
+module H = Mem.Hierarchy
+module SP = Mem.Stride_prefetcher
+
+let mk_cache ?(size = 1024) ?(assoc = 2) ?(line = 64) () =
+  C.create ~name:"t" ~size_bytes:size ~assoc ~line_bytes:line
+
+let test_geometry () =
+  let c = mk_cache () in
+  Alcotest.(check int) "sets" 8 (C.sets c);
+  Alcotest.(check int) "assoc" 2 (C.assoc c);
+  Alcotest.check_raises "bad line"
+    (Invalid_argument "Cache.create: line_bytes must be a power of two")
+    (fun () -> ignore (C.create ~name:"x" ~size_bytes:1024 ~assoc:2 ~line_bytes:48))
+
+let test_hit_after_fill () =
+  let c = mk_cache () in
+  Alcotest.(check bool) "first access misses" false (C.access c 0x1000);
+  Alcotest.(check bool) "second access hits" true (C.access c 0x1000);
+  Alcotest.(check bool) "same line hits" true (C.access c 0x103F);
+  Alcotest.(check bool) "next line misses" false (C.access c 0x1040)
+
+let test_lru_eviction () =
+  (* 2-way, 8 sets, 64B lines: addresses 0, 8*64, 16*64 map to set 0 *)
+  let c = mk_cache () in
+  let a0 = 0 and a1 = 8 * 64 and a2 = 16 * 64 in
+  ignore (C.access c a0);
+  ignore (C.access c a1);
+  ignore (C.access c a0); (* a0 now MRU; a1 is LRU *)
+  ignore (C.access c a2); (* evicts a1 *)
+  Alcotest.(check bool) "a0 survives" true (C.probe c a0);
+  Alcotest.(check bool) "a1 evicted" false (C.probe c a1);
+  Alcotest.(check bool) "a2 resident" true (C.probe c a2)
+
+let test_probe_no_side_effect () =
+  let c = mk_cache () in
+  ignore (C.probe c 0x2000);
+  Alcotest.(check int) "probe not counted" 0 (C.stats c).C.accesses;
+  Alcotest.(check bool) "probe does not fill" false (C.probe c 0x2000)
+
+let test_stats () =
+  let c = mk_cache () in
+  ignore (C.access c 0);
+  ignore (C.access c 0);
+  ignore (C.access c 64);
+  let s = C.stats c in
+  Alcotest.(check int) "accesses" 3 s.C.accesses;
+  Alcotest.(check int) "hits" 1 s.C.hits;
+  Alcotest.(check int) "misses" 2 s.C.misses;
+  Alcotest.(check (float 1e-9)) "miss rate" (2.0 /. 3.0) (C.miss_rate c)
+
+let test_fill_is_prefetch () =
+  let c = mk_cache () in
+  C.fill c 0x3000;
+  let s = C.stats c in
+  Alcotest.(check int) "prefetch fill counted" 1 s.C.prefetch_fills;
+  Alcotest.(check int) "no access counted" 0 s.C.accesses;
+  Alcotest.(check bool) "line resident" true (C.probe c 0x3000)
+
+let test_writeback_tracking () =
+  let c = mk_cache () in
+  (* dirty a line in set 0, then evict it with two more set-0 lines *)
+  ignore (C.access ~write:true c 0);
+  ignore (C.access c (8 * 64));
+  ignore (C.access c (16 * 64));
+  Alcotest.(check int) "one writeback" 1 (C.stats c).C.writebacks;
+  (* clean evictions do not count *)
+  ignore (C.access c (24 * 64));
+  Alcotest.(check int) "clean eviction free" 1 (C.stats c).C.writebacks
+
+let test_hierarchy_store_writeback_reaches_dram () =
+  let small =
+    { H.table_i with H.l1d_size = 1024; l2_size = 4096; l1i_next_line = false }
+  in
+  let h = H.create small in
+  (* dirty many distinct lines: they must eventually drain to DRAM *)
+  for i = 0 to 299 do
+    ignore (H.dwrite h ~now:(i * 10) ~pc:0 (0x10000 + (i * 64)))
+  done;
+  Alcotest.(check bool) "dram saw writebacks" true ((H.dram_stats h).D.writes > 0)
+
+(* ------------------------------- DRAM ----------------------------- *)
+
+let test_dram_row_hits () =
+  let d = D.create () in
+  let lat1 = D.access d ~now:0 ~write:false 0x100 in
+  let lat2 = D.access d ~now:1000 ~write:false 0x140 in
+  Alcotest.(check bool) "row hit faster" true (lat2 < lat1);
+  let s = D.stats d in
+  Alcotest.(check int) "one row hit" 1 s.D.row_hits;
+  Alcotest.(check int) "one row miss" 1 s.D.row_misses
+
+let test_dram_bank_contention () =
+  let d = D.create () in
+  let l1 = D.access d ~now:0 ~write:false 0x100 in
+  (* immediate second access to the same bank queues behind the first *)
+  let l2 = D.access d ~now:0 ~write:false (0x100 + (2048 * 16)) in
+  Alcotest.(check bool) "queued access slower" true (l2 > l1)
+
+let test_dram_counts_writes () =
+  let d = D.create () in
+  ignore (D.access d ~now:0 ~write:true 0x100);
+  Alcotest.(check int) "write counted" 1 (D.stats d).D.writes
+
+(* ---------------------------- prefetcher --------------------------- *)
+
+let test_stride_prefetcher_learns () =
+  let p = SP.create () in
+  Alcotest.(check (list int)) "cold" [] (SP.observe p ~pc:4 ~addr:0);
+  Alcotest.(check (list int)) "first stride" [] (SP.observe p ~pc:4 ~addr:64);
+  Alcotest.(check (list int)) "confidence building" []
+    (SP.observe p ~pc:4 ~addr:128);
+  Alcotest.(check (list int)) "prefetch issued" [ 256 ]
+    (SP.observe p ~pc:4 ~addr:192);
+  Alcotest.(check int) "issued count" 1 (SP.issued p)
+
+let test_stride_prefetcher_resets_on_noise () =
+  let p = SP.create () in
+  ignore (SP.observe p ~pc:4 ~addr:0);
+  ignore (SP.observe p ~pc:4 ~addr:64);
+  ignore (SP.observe p ~pc:4 ~addr:128);
+  Alcotest.(check (list int)) "noise clears confidence" []
+    (SP.observe p ~pc:4 ~addr:1000)
+
+(* ---------------------------- hierarchy ---------------------------- *)
+
+let test_hierarchy_levels () =
+  let h = H.create H.table_i in
+  let o1 = H.dread h ~now:0 ~pc:0 0x5000 in
+  Alcotest.(check bool) "first read from DRAM" true (o1.H.level = H.Main);
+  let o2 = H.dread h ~now:100 ~pc:0 0x5000 in
+  Alcotest.(check bool) "second read from L1" true (o2.H.level = H.L1);
+  Alcotest.(check int) "L1 latency is hit latency" H.table_i.H.l1d_hit
+    o2.H.latency;
+  Alcotest.(check bool) "DRAM slower than L1" true (o1.H.latency > o2.H.latency)
+
+let test_hierarchy_prefetch_hides_latency () =
+  let h = H.create H.table_i in
+  H.prefetch_d h ~now:0 ~pc:0 0x9000;
+  (* long after the prefetch completes, the demand access is an L1 hit *)
+  let o = H.dread h ~now:1000 ~pc:0 0x9000 in
+  Alcotest.(check int) "hidden latency" H.table_i.H.l1d_hit o.H.latency
+
+let test_hierarchy_early_demand_pays_partial () =
+  let h = H.create H.table_i in
+  H.prefetch_d h ~now:0 ~pc:0 0xA000;
+  let immediate = H.dread h ~now:1 ~pc:0 0xA000 in
+  Alcotest.(check bool) "early demand pays remainder" true
+    (immediate.H.latency > H.table_i.H.l1d_hit);
+  let h2 = H.create H.table_i in
+  let cold = H.dread h2 ~now:1 ~pc:0 0xA000 in
+  Alcotest.(check bool) "still cheaper than cold miss" true
+    (immediate.H.latency <= cold.H.latency)
+
+let test_hierarchy_touch_warm () =
+  let h = H.create H.table_i in
+  H.touch_i h 0x7000;
+  let o = H.ifetch h ~now:0 0x7000 in
+  Alcotest.(check bool) "warmed line hits L1" true (o.H.level = H.L1);
+  Alcotest.(check int) "touch not counted as access" 1 (H.l1i_stats h).C.accesses
+
+let test_next_line_prefetcher () =
+  let h = H.create H.table_i in
+  ignore (H.ifetch h ~now:0 0x8000);
+  (* give the next-line prefetch time to land, then access it *)
+  let o = H.ifetch h ~now:500 0x8040 in
+  Alcotest.(check bool) "next line was prefetched" true (o.H.level = H.L1)
+
+let prop_cache_hits_bounded =
+  QCheck.Test.make ~name:"hits + misses = accesses" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 200) (int_bound 0xFFFF))
+    (fun addrs ->
+      let c = mk_cache () in
+      List.iter (fun a -> ignore (C.access c a)) addrs;
+      let s = C.stats c in
+      s.C.hits + s.C.misses = s.C.accesses
+      && s.C.accesses = List.length addrs)
+
+let () =
+  Alcotest.run "mem"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "geometry" `Quick test_geometry;
+          Alcotest.test_case "hit after fill" `Quick test_hit_after_fill;
+          Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
+          Alcotest.test_case "probe side-effect free" `Quick test_probe_no_side_effect;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "fill is prefetch" `Quick test_fill_is_prefetch;
+          Alcotest.test_case "writeback tracking" `Quick test_writeback_tracking;
+          Alcotest.test_case "writebacks reach DRAM" `Quick
+            test_hierarchy_store_writeback_reaches_dram;
+        ] );
+      ( "dram",
+        [
+          Alcotest.test_case "row hits" `Quick test_dram_row_hits;
+          Alcotest.test_case "bank contention" `Quick test_dram_bank_contention;
+          Alcotest.test_case "write counting" `Quick test_dram_counts_writes;
+        ] );
+      ( "prefetcher",
+        [
+          Alcotest.test_case "learns strides" `Quick test_stride_prefetcher_learns;
+          Alcotest.test_case "noise resets" `Quick test_stride_prefetcher_resets_on_noise;
+        ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "levels" `Quick test_hierarchy_levels;
+          Alcotest.test_case "prefetch hides latency" `Quick
+            test_hierarchy_prefetch_hides_latency;
+          Alcotest.test_case "early demand partial wait" `Quick
+            test_hierarchy_early_demand_pays_partial;
+          Alcotest.test_case "warmup touch" `Quick test_hierarchy_touch_warm;
+          Alcotest.test_case "next-line prefetch" `Quick test_next_line_prefetcher;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_cache_hits_bounded ] );
+    ]

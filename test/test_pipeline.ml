@@ -1,0 +1,254 @@
+(* Tests for the cycle-level pipeline model. *)
+
+module I = Isa.Instr
+module Op = Isa.Opcode
+module B = Prog.Block
+module P = Prog.Program
+module Cfg = Pipeline.Config
+
+let r = Isa.Reg.r
+
+let mk uid ?dst ?(srcs = []) ?cond ?encoding ?mem op =
+  I.make ~uid ~opcode:op ?dst ~srcs ?cond ?encoding ?mem ()
+
+let trace_of_blocks ?(visits = 4) ?(seed = 1) blocks =
+  let p = P.make ~entry:0 ~blocks in
+  Prog.Trace.expand p ~seed (Prog.Walk.path_visits p ~seed ~visits)
+
+let alu_block ?(n = 16) ?(term = B.Jump 0) id =
+  B.make ~id ~func:0
+    ~body:(Array.init n (fun i -> mk ((id * 1000) + i) ~dst:(r (i mod 8)) Op.Alu))
+    ~term
+
+let test_commits_everything () =
+  let t = trace_of_blocks [ alu_block 0 ] in
+  let st = Pipeline.Cpu.run Cfg.table_i t in
+  Alcotest.(check int) "all events retire" (Array.length t) st.committed_total;
+  Alcotest.(check int) "work matches trace" (Prog.Trace.work_count t)
+    st.committed_work
+
+let test_deterministic () =
+  let t = trace_of_blocks [ alu_block 0 ] in
+  let a = Pipeline.Cpu.run Cfg.table_i t in
+  let b = Pipeline.Cpu.run Cfg.table_i t in
+  Alcotest.(check int) "same cycles" a.cycles b.cycles
+
+let test_ipc_bounded_by_width () =
+  let t = trace_of_blocks ~visits:50 [ alu_block 0 ] in
+  let st = Pipeline.Cpu.run Cfg.table_i t in
+  Alcotest.(check bool) "IPC <= width" true
+    (Pipeline.Stats.ipc st <= float_of_int Cfg.table_i.width)
+
+let test_dependence_serializes () =
+  (* a serial dependence chain must be slower than independent work *)
+  let serial =
+    B.make ~id:0 ~func:0
+      ~body:
+        (Array.init 32 (fun i ->
+             if i = 0 then mk i ~dst:(r 0) Op.Alu
+             else mk i ~dst:(r 0) ~srcs:[ r 0 ] Op.Alu))
+      ~term:(B.Jump 0)
+  in
+  let t_serial = trace_of_blocks ~visits:8 [ serial ] in
+  let t_parallel = trace_of_blocks ~visits:8 [ alu_block ~n:32 0 ] in
+  let s1 = Pipeline.Cpu.run Cfg.table_i t_serial in
+  let s2 = Pipeline.Cpu.run Cfg.table_i t_parallel in
+  Alcotest.(check bool) "serial slower" true (s1.cycles > s2.cycles)
+
+let test_long_latency_ops_cost () =
+  let divs =
+    B.make ~id:0 ~func:0
+      ~body:(Array.init 16 (fun i -> mk i ~dst:(r (i mod 8)) Op.Div))
+      ~term:(B.Jump 0)
+  in
+  let t_div = trace_of_blocks ~visits:4 [ divs ] in
+  let t_alu = trace_of_blocks ~visits:4 [ alu_block 0 ] in
+  let s_div = Pipeline.Cpu.run Cfg.table_i t_div in
+  let s_alu = Pipeline.Cpu.run Cfg.table_i t_alu in
+  Alcotest.(check bool) "div-heavy slower" true (s_div.cycles > s_alu.cycles)
+
+let test_thumb_reduces_fetch_pressure () =
+  (* identical work, half the bytes: never slower, and with a narrow
+     fetch group strictly faster *)
+  let narrow = { Cfg.table_i with Cfg.fetch_bytes = 8 } in
+  let arm = trace_of_blocks ~visits:40 [ alu_block ~n:24 0 ] in
+  let thumb_block =
+    B.make ~id:0 ~func:0
+      ~body:
+        (Array.init 24 (fun i ->
+             mk i ~dst:(r (i mod 8)) ~encoding:I.Thumb16 Op.Alu))
+      ~term:(B.Jump 0)
+  in
+  let thumb = trace_of_blocks ~visits:40 [ thumb_block ] in
+  let s_arm = Pipeline.Cpu.run narrow arm in
+  let s_thumb = Pipeline.Cpu.run narrow thumb in
+  Alcotest.(check bool) "thumb faster under fetch pressure" true
+    (s_thumb.cycles < s_arm.cycles);
+  let thumb_events =
+    Array.fold_left
+      (fun acc (e : Prog.Trace.event) ->
+        if e.instr.I.encoding = I.Thumb16 then acc + 1 else acc)
+      0 thumb
+  in
+  Alcotest.(check int) "thumb instructions counted" thumb_events
+    s_thumb.thumb_committed
+
+let test_cdp_markers_retire_at_decode () =
+  let body =
+    [|
+      I.cdp ~uid:100 ~following:2;
+      mk 0 ~dst:(r 0) ~encoding:I.Thumb16 Op.Alu;
+      mk 1 ~dst:(r 1) ~encoding:I.Thumb16 Op.Alu;
+    |]
+  in
+  let t =
+    trace_of_blocks ~visits:5 [ B.make ~id:0 ~func:0 ~body ~term:(B.Jump 0) ]
+  in
+  let st = Pipeline.Cpu.run Cfg.table_i t in
+  Alcotest.(check int) "cdp markers counted" 5 st.cdp_markers;
+  Alcotest.(check int) "everything retires" (Array.length t) st.committed_total;
+  (* CDP markers are not work *)
+  Alcotest.(check int) "work excludes CDP" (Prog.Trace.work_count t)
+    st.committed_work
+
+let test_mispredicts_cost_cycles () =
+  let blocks bias =
+    [
+      B.make ~id:0 ~func:0
+        ~body:(Array.init 8 (fun i -> mk i ~dst:(r (i mod 8)) Op.Alu))
+        ~term:(B.Cond_branch { taken = 0; not_taken = 1; taken_bias = bias });
+      alu_block ~n:8 ~term:(B.Jump 0) 1;
+    ]
+  in
+  (* bias 0.5 is unpredictable; bias 0.99 is easy *)
+  let t_hard = trace_of_blocks ~visits:400 ~seed:7 (blocks 0.5) in
+  let t_easy = trace_of_blocks ~visits:400 ~seed:7 (blocks 0.99) in
+  let hard = Pipeline.Cpu.run Cfg.table_i t_hard in
+  let easy = Pipeline.Cpu.run Cfg.table_i t_easy in
+  let cpi (s : Pipeline.Stats.t) =
+    float_of_int s.cycles /. float_of_int s.committed_work
+  in
+  Alcotest.(check bool) "unpredictable branches cost cycles" true
+    (cpi hard > cpi easy);
+  Alcotest.(check bool) "mispredicts recorded" true (hard.bpu.mispredicts > 0)
+
+let test_perfect_branch_never_slower () =
+  let t = trace_of_blocks ~visits:100 [ alu_block 0 ] in
+  let base = Pipeline.Cpu.run Cfg.table_i t in
+  let perfect = Pipeline.Cpu.run (Cfg.with_perfect_branch Cfg.table_i) t in
+  Alcotest.(check bool) "perfect bp never slower" true
+    (perfect.cycles <= base.cycles)
+
+let test_warm_faster_than_cold () =
+  let mem = { I.region = 1; stride = 64; working_set = 8192; randomness = 0.0 } in
+  let body =
+    Array.init 16 (fun i ->
+        if i mod 2 = 0 then mk i ~dst:(r 0) ~mem Op.Load
+        else mk i ~dst:(r 1) ~srcs:[ r 0 ] Op.Alu)
+  in
+  let t =
+    trace_of_blocks ~visits:16 [ B.make ~id:0 ~func:0 ~body ~term:(B.Jump 0) ]
+  in
+  let warm = Pipeline.Cpu.run ~warm:true Cfg.table_i t in
+  let cold = Pipeline.Cpu.run ~warm:false Cfg.table_i t in
+  Alcotest.(check bool) "warm run not slower" true (warm.cycles <= cold.cycles)
+
+let test_wrong_path_fetch_pollutes () =
+  let blocks =
+    [
+      B.make ~id:0 ~func:0
+        ~body:(Array.init 8 (fun i -> mk i ~dst:(r (i mod 8)) Op.Alu))
+        ~term:(B.Cond_branch { taken = 0; not_taken = 1; taken_bias = 0.5 });
+      alu_block ~n:8 ~term:(B.Jump 0) 1;
+    ]
+  in
+  let t = trace_of_blocks ~visits:400 ~seed:7 blocks in
+  let base = Pipeline.Cpu.run Cfg.table_i t in
+  let wp =
+    Pipeline.Cpu.run { Cfg.table_i with Cfg.wrong_path_fetch = true } t
+  in
+  Alcotest.(check bool) "wrong path adds i-cache traffic" true
+    (wp.l1i.accesses > base.l1i.accesses);
+  Alcotest.(check int) "work unchanged" base.committed_work wp.committed_work
+
+let test_stage_accounting_consistent () =
+  let t = trace_of_blocks ~visits:20 [ alu_block 0 ] in
+  let st = Pipeline.Cpu.run Cfg.table_i t in
+  let s = st.stage_all in
+  Alcotest.(check int) "population = committed total minus markers"
+    st.committed_total s.count;
+  Alcotest.(check bool) "shares sum to 1" true
+    (abs_float
+       (List.fold_left
+          (fun acc (_, v) -> acc +. v)
+          0.0
+          (Pipeline.Stats.summary_shares s)
+       -. 1.0)
+    < 1e-9)
+
+let test_criticality_table () =
+  let ct = Pipeline.Criticality_table.create ~threshold:4 () in
+  Alcotest.(check bool) "cold predicts non-critical" false
+    (Pipeline.Criticality_table.predict ct ~pc:0x40);
+  Pipeline.Criticality_table.train ct ~pc:0x40 ~fanout:8;
+  Pipeline.Criticality_table.train ct ~pc:0x40 ~fanout:8;
+  Alcotest.(check bool) "trained predicts critical" true
+    (Pipeline.Criticality_table.predict ct ~pc:0x40);
+  (* hysteresis: a saturated entry survives one low-fanout observation *)
+  Pipeline.Criticality_table.train ct ~pc:0x40 ~fanout:0;
+  Alcotest.(check bool) "hysteresis" true
+    (Pipeline.Criticality_table.predict ct ~pc:0x40);
+  Pipeline.Criticality_table.train ct ~pc:0x40 ~fanout:0;
+  Pipeline.Criticality_table.train ct ~pc:0x40 ~fanout:0;
+  Alcotest.(check bool) "eventually forgets" false
+    (Pipeline.Criticality_table.predict ct ~pc:0x40)
+
+let test_efetch_learns_call_sequence () =
+  let e = Pipeline.Efetch.create () in
+  (* repeat a call sequence; after training, predictions fire *)
+  for _ = 1 to 50 do
+    List.iter
+      (fun t -> ignore (Pipeline.Efetch.on_call e ~target:t))
+      [ 0x1000; 0x2000; 0x3000; 0x4000 ]
+  done;
+  Alcotest.(check bool) "predictions made" true (Pipeline.Efetch.predictions e > 0);
+  Alcotest.(check bool) "mostly correct on a loop" true
+    (float_of_int (Pipeline.Efetch.correct e)
+     /. float_of_int (Pipeline.Efetch.predictions e)
+    > 0.8)
+
+let test_config_variants () =
+  let c = Cfg.table_i in
+  Alcotest.(check int) "2xFD doubles fetch bytes" (c.fetch_bytes * 2)
+    (Cfg.with_2x_fd c).fetch_bytes;
+  Alcotest.(check int) "4xI$ quadruples icache"
+    (c.mem.Mem.Hierarchy.l1i_size * 4)
+    (Cfg.with_4x_icache c).mem.Mem.Hierarchy.l1i_size;
+  Alcotest.(check bool) "all_hw enables efetch" true (Cfg.all_hw c).efetch
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "cpu",
+        [
+          Alcotest.test_case "commits everything" `Quick test_commits_everything;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "ipc bounded" `Quick test_ipc_bounded_by_width;
+          Alcotest.test_case "dependences serialize" `Quick test_dependence_serializes;
+          Alcotest.test_case "long latency costs" `Quick test_long_latency_ops_cost;
+          Alcotest.test_case "thumb fetch pressure" `Quick
+            test_thumb_reduces_fetch_pressure;
+          Alcotest.test_case "cdp markers" `Quick test_cdp_markers_retire_at_decode;
+          Alcotest.test_case "mispredict cost" `Quick test_mispredicts_cost_cycles;
+          Alcotest.test_case "perfect bp" `Quick test_perfect_branch_never_slower;
+          Alcotest.test_case "warmup" `Quick test_warm_faster_than_cold;
+          Alcotest.test_case "stage accounting" `Quick test_stage_accounting_consistent;
+          Alcotest.test_case "wrong-path fetch" `Quick test_wrong_path_fetch_pollutes;
+        ] );
+      ( "components",
+        [
+          Alcotest.test_case "criticality table" `Quick test_criticality_table;
+          Alcotest.test_case "efetch" `Quick test_efetch_learns_call_sequence;
+          Alcotest.test_case "config variants" `Quick test_config_variants;
+        ] );
+    ]

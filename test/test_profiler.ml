@@ -1,0 +1,265 @@
+(* Tests for the offline profiler and the CritIC database. *)
+
+module Db = Profiler.Critic_db
+
+let small_ctx () =
+  let app =
+    { (Option.get (Workload.Apps.find "Email")) with seed = 77 }
+  in
+  let program = Workload.Gen.program app in
+  let path = Prog.Walk.path_for_instrs program ~seed:7 ~instrs:20_000 in
+  let trace = Prog.Trace.expand program ~seed:7 path in
+  (program, trace)
+
+let test_profile_finds_chains () =
+  let _, trace = small_ctx () in
+  let db = Profiler.Profile_run.profile trace in
+  Alcotest.(check bool) "finds sites" true (List.length db.sites > 0);
+  Alcotest.(check bool) "coverage positive" true (Db.coverage db > 0.0);
+  Alcotest.(check bool) "coverage bounded" true (Db.coverage db <= 1.0)
+
+let test_sites_well_formed () =
+  let program, trace = small_ctx () in
+  let db = Profiler.Profile_run.profile trace in
+  List.iter
+    (fun (s : Db.site) ->
+      Alcotest.(check bool) "length >= 2" true (Db.site_length s >= 2);
+      Alcotest.(check bool) "criticality above threshold" true
+        (s.criticality >= 4.0);
+      Alcotest.(check bool) "occurrences positive" true (s.occurrences > 0);
+      (* indices strictly increasing and uids match the program *)
+      let block = Prog.Program.block program s.block_id in
+      let rec check_incr prev = function
+        | [] -> ()
+        | i :: rest ->
+          Alcotest.(check bool) "strictly increasing" true (i > prev);
+          check_incr i rest
+      in
+      check_incr (-1) s.member_indices;
+      List.iter2
+        (fun idx uid ->
+          Alcotest.(check int) "uid matches program"
+            block.Prog.Block.body.(idx).Isa.Instr.uid uid)
+        s.member_indices s.uids)
+    db.sites
+
+let test_sites_nonoverlapping_ranges () =
+  let _, trace = small_ctx () in
+  let db = Profiler.Profile_run.profile trace in
+  let by_block = Hashtbl.create 32 in
+  List.iter
+    (fun (s : Db.site) ->
+      let lo = List.hd s.member_indices in
+      let hi = List.fold_left max lo s.member_indices in
+      let existing =
+        Option.value ~default:[] (Hashtbl.find_opt by_block s.block_id)
+      in
+      List.iter
+        (fun (l, h) ->
+          Alcotest.(check bool) "ranges disjoint" true (hi < l || h < lo))
+        existing;
+      Hashtbl.replace by_block s.block_id ((lo, hi) :: existing))
+    db.sites
+
+let test_restrict_length () =
+  let _, trace = small_ctx () in
+  let db = Profiler.Profile_run.profile trace in
+  let db5 = Db.restrict_length 3 db in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "capped at 3" true (Db.site_length s <= 3))
+    db5.sites;
+  Alcotest.(check int) "site count preserved" (List.length db.sites)
+    (List.length db5.sites)
+
+let test_exact_length () =
+  let _, trace = small_ctx () in
+  let db = Profiler.Profile_run.profile trace in
+  let db4 = Db.exact_length 4 db in
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "exactly 4" 4 (Db.site_length s))
+    db4.sites
+
+let test_coverage_cdf_monotone () =
+  let _, trace = small_ctx () in
+  let db = Profiler.Profile_run.profile trace in
+  let pts = Db.coverage_cdf db in
+  let rec check_monotone = function
+    | (r1, c1) :: ((r2, c2) :: _ as rest) ->
+      Alcotest.(check bool) "ranks increase" true (r2 >= r1);
+      Alcotest.(check bool) "coverage increases" true (c2 >= c1);
+      check_monotone rest
+    | _ -> ()
+  in
+  check_monotone pts;
+  List.iter
+    (fun (_, c) ->
+      Alcotest.(check bool) "coverage within [0,1]" true (c >= 0.0 && c <= 1.0))
+    pts
+
+let test_convertible_coverage_bounded () =
+  let _, trace = small_ctx () in
+  let db = Profiler.Profile_run.profile trace in
+  Alcotest.(check bool) "convertible <= total" true
+    (Db.convertible_coverage db <= Db.coverage db)
+
+let test_fraction_profiles_less () =
+  let _, trace = small_ctx () in
+  let full = Profiler.Profile_run.profile trace in
+  let half = Profiler.Profile_run.profile ~fraction:0.3 trace in
+  Alcotest.(check bool) "partial profile sees fewer or equal sites" true
+    (List.length half.sites <= List.length full.sites)
+
+let test_threshold_monotone () =
+  let _, trace = small_ctx () in
+  let lo = Profiler.Profile_run.profile ~threshold:2.0 trace in
+  let hi = Profiler.Profile_run.profile ~threshold:8.0 trace in
+  Alcotest.(check bool) "higher threshold selects fewer chains" true
+    (List.length hi.sites <= List.length lo.sites)
+
+let test_histograms_populated () =
+  let _, trace = small_ctx () in
+  let db = Profiler.Profile_run.profile trace in
+  Alcotest.(check bool) "lengths recorded" true
+    (Util.Dist.Histogram.count db.ic_lengths > 0);
+  Alcotest.(check bool) "spreads recorded" true
+    (Util.Dist.Histogram.count db.ic_spreads > 0);
+  Alcotest.(check bool) "gaps recorded" true
+    (Util.Dist.Histogram.count db.chain_gaps > 0)
+
+let test_mobile_chains_short () =
+  let _, trace = small_ctx () in
+  let db = Profiler.Profile_run.profile ~window:2048 trace in
+  (* the paper's mobile bound: chains of tens, spreads of hundreds *)
+  Alcotest.(check bool) "mobile IC lengths bounded" true
+    (Util.Dist.Histogram.max_value db.ic_lengths < 100)
+
+(* ------------------------------ Db_io ------------------------------ *)
+
+let test_db_roundtrip () =
+  let _, trace = small_ctx () in
+  let db = Profiler.Profile_run.profile trace in
+  let db' = Profiler.Db_io.of_string (Profiler.Db_io.to_string db) in
+  Alcotest.(check int) "site count" (List.length db.sites)
+    (List.length db'.sites);
+  Alcotest.(check int) "total work" db.total_work db'.total_work;
+  Alcotest.(check (float 1e-6)) "coverage preserved" (Db.coverage db)
+    (Db.coverage db');
+  List.iter2
+    (fun (a : Db.site) (b : Db.site) ->
+      Alcotest.(check int) "block" a.block_id b.block_id;
+      Alcotest.(check (list int)) "indices" a.member_indices b.member_indices;
+      Alcotest.(check (list int)) "uids" a.uids b.uids;
+      Alcotest.(check string) "key" a.key b.key;
+      Alcotest.(check bool) "convertible" a.convertible b.convertible;
+      Alcotest.(check int) "occurrences" a.occurrences b.occurrences)
+    db.sites db'.sites;
+  Alcotest.(check (list (pair int int)))
+    "length histogram"
+    (Util.Dist.Histogram.bins db.ic_lengths)
+    (Util.Dist.Histogram.bins db'.ic_lengths)
+
+let test_db_file_roundtrip () =
+  let _, trace = small_ctx () in
+  let db = Profiler.Profile_run.profile trace in
+  let path = Filename.temp_file "critics" ".db" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Profiler.Db_io.save db path;
+      let db' = Profiler.Db_io.load path in
+      Alcotest.(check int) "sites survive the file" (List.length db.sites)
+        (List.length db'.sites))
+
+let test_db_rejects_garbage () =
+  Alcotest.(check bool) "bad version rejected" true
+    (try ignore (Profiler.Db_io.of_string "not-a-db\n"); false
+     with Failure _ -> true);
+  Alcotest.(check bool) "empty rejected" true
+    (try ignore (Profiler.Db_io.of_string ""); false
+     with Failure _ -> true)
+
+(* ------------------------------ Metric ----------------------------- *)
+
+let test_metric_uniform_chain () =
+  (* all metrics agree on a uniform chain *)
+  List.iter
+    (fun m ->
+      Alcotest.(check (float 1e-6))
+        (Profiler.Metric.name m ^ " on uniform")
+        4.0
+        (Profiler.Metric.score m [ 4; 4; 4 ]))
+    Profiler.Metric.all
+
+let test_metric_orderings () =
+  let front = [ 9; 1; 1 ] and back = [ 1; 1; 9 ] in
+  let score m l = Profiler.Metric.score m l in
+  Alcotest.(check (float 1e-6)) "average is order-blind"
+    (score Profiler.Metric.Average_fanout front)
+    (score Profiler.Metric.Average_fanout back);
+  Alcotest.(check bool) "tail-weighted prefers critical tails" true
+    (score Profiler.Metric.Tail_weighted back
+    > score Profiler.Metric.Tail_weighted front);
+  Alcotest.(check (float 1e-6)) "minimum scores the weakest member" 1.0
+    (score Profiler.Metric.Minimum_fanout front);
+  Alcotest.(check bool) "geomean penalizes variance" true
+    (score Profiler.Metric.Geometric_mean front
+    < score Profiler.Metric.Average_fanout front)
+
+let test_metric_roundtrip () =
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "of_string roundtrips" true
+        (Profiler.Metric.of_string (Profiler.Metric.name m) = Some m))
+    Profiler.Metric.all;
+  Alcotest.(check (float 1e-9)) "empty chain scores 0" 0.0
+    (Profiler.Metric.score Profiler.Metric.Average_fanout [])
+
+let test_profile_with_metric () =
+  let _, trace = small_ctx () in
+  List.iter
+    (fun m ->
+      let db = Profiler.Profile_run.profile ~metric:m trace in
+      Alcotest.(check bool)
+        (Profiler.Metric.name m ^ " produces a valid db")
+        true
+        (Db.coverage db >= 0.0 && Db.coverage db <= 1.0))
+    Profiler.Metric.all
+
+let () =
+  Alcotest.run "profiler"
+    [
+      ( "profile",
+        [
+          Alcotest.test_case "finds chains" `Quick test_profile_finds_chains;
+          Alcotest.test_case "sites well formed" `Quick test_sites_well_formed;
+          Alcotest.test_case "ranges disjoint" `Quick
+            test_sites_nonoverlapping_ranges;
+          Alcotest.test_case "histograms" `Quick test_histograms_populated;
+          Alcotest.test_case "mobile chains short" `Quick test_mobile_chains_short;
+          Alcotest.test_case "partial profiling" `Quick test_fraction_profiles_less;
+          Alcotest.test_case "threshold monotone" `Quick test_threshold_monotone;
+        ] );
+      ( "db",
+        [
+          Alcotest.test_case "restrict length" `Quick test_restrict_length;
+          Alcotest.test_case "exact length" `Quick test_exact_length;
+          Alcotest.test_case "cdf monotone" `Quick test_coverage_cdf_monotone;
+          Alcotest.test_case "convertible bounded" `Quick
+            test_convertible_coverage_bounded;
+        ] );
+      ( "db_io",
+        [
+          Alcotest.test_case "string roundtrip" `Quick test_db_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_db_file_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_db_rejects_garbage;
+        ] );
+      ( "metric",
+        [
+          Alcotest.test_case "uniform chain" `Quick test_metric_uniform_chain;
+          Alcotest.test_case "orderings" `Quick test_metric_orderings;
+          Alcotest.test_case "roundtrip" `Quick test_metric_roundtrip;
+          Alcotest.test_case "profile with metric" `Quick test_profile_with_metric;
+        ] );
+    ]

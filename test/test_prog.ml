@@ -1,0 +1,228 @@
+(* Tests for programs, walks and trace expansion. *)
+
+module I = Isa.Instr
+module Op = Isa.Opcode
+module B = Prog.Block
+module P = Prog.Program
+
+let r = Isa.Reg.r
+
+let mk uid ?dst ?(srcs = []) ?mem op = I.make ~uid ~opcode:op ?dst ~srcs ?mem ()
+
+let simple_block id ?(n = 4) term =
+  let body = Array.init n (fun i -> mk ((id * 100) + i) ~dst:(r (i mod 8)) Op.Alu) in
+  B.make ~id ~func:0 ~body ~term
+
+(* A tiny two-block loop: b0 -> b1, b1 jumps back to b0. *)
+let tiny_program () =
+  P.make ~entry:0
+    ~blocks:[ simple_block 0 (B.Fallthrough 1); simple_block 1 (B.Jump 0) ]
+
+let test_program_validation () =
+  Alcotest.check_raises "dangling successor"
+    (Invalid_argument "Program.make: dangling successor") (fun () ->
+      ignore (P.make ~entry:0 ~blocks:[ simple_block 0 (B.Jump 5) ]));
+  Alcotest.check_raises "bad ids"
+    (Invalid_argument "Program.make: block ids must be dense in [0, n)")
+    (fun () -> ignore (P.make ~entry:0 ~blocks:[ simple_block 3 (B.Jump 3) ]))
+
+let test_layout () =
+  let p = tiny_program () in
+  Alcotest.(check int) "base address" Prog.Program.code_base (P.block_addr p 0);
+  Alcotest.(check bool) "second block after first" true
+    (P.block_addr p 1 >= P.block_addr p 0 + B.size_bytes (P.block p 0));
+  Alcotest.(check int) "aligned" 0 (P.block_addr p 1 land 3);
+  Alcotest.(check int) "instr count" 8 (P.instr_count p)
+
+let test_layout_shrinks_with_thumb () =
+  let p = tiny_program () in
+  let p' =
+    P.map_blocks
+      (fun b -> B.with_body (Array.map (I.with_encoding I.Thumb16) b.B.body) b)
+      p
+  in
+  Alcotest.(check bool) "thumb code smaller" true
+    (P.code_size p' < P.code_size p)
+
+let test_map_blocks_guards_cfg () =
+  let p = tiny_program () in
+  Alcotest.check_raises "term change rejected"
+    (Invalid_argument "Program.map_blocks: pass must preserve CFG shape")
+    (fun () ->
+      ignore
+        (P.map_blocks
+           (fun b ->
+             if b.B.id = 0 then { b with B.term = B.Jump 0 } else b)
+           p))
+
+let test_find_instr () =
+  let p = tiny_program () in
+  match P.find_instr p 101 with
+  | Some (b, idx) ->
+    Alcotest.(check int) "block" 1 b.B.id;
+    Alcotest.(check int) "index" 1 idx
+  | None -> Alcotest.fail "instr 101 not found"
+
+let test_walk_deterministic () =
+  let p = tiny_program () in
+  let a = Prog.Walk.path_for_instrs p ~seed:5 ~instrs:100 in
+  let b = Prog.Walk.path_for_instrs p ~seed:5 ~instrs:100 in
+  Alcotest.(check (array int)) "same path" a b
+
+let test_walk_visits () =
+  let p = tiny_program () in
+  let path = Prog.Walk.path_visits p ~seed:1 ~visits:7 in
+  Alcotest.(check int) "exact visit count" 7 (Array.length path);
+  Alcotest.(check int) "starts at entry" 0 path.(0);
+  (* deterministic alternation of the loop *)
+  Alcotest.(check (array int)) "alternates" [| 0; 1; 0; 1; 0; 1; 0 |] path
+
+let test_walk_respects_bias () =
+  let blocks =
+    [
+      B.make ~id:0 ~func:0 ~body:[| mk 1 ~dst:(r 0) Op.Alu |]
+        ~term:(B.Cond_branch { taken = 0; not_taken = 1; taken_bias = 0.9 });
+      simple_block 1 (B.Jump 0);
+    ]
+  in
+  let p = P.make ~entry:0 ~blocks in
+  let path = Prog.Walk.path_visits p ~seed:11 ~visits:2000 in
+  let self = Array.to_list path |> List.filter (( = ) 0) |> List.length in
+  Alcotest.(check bool) "block 0 dominates (bias 0.9)" true
+    (self > 1500)
+
+let test_call_return () =
+  let blocks =
+    [
+      B.make ~id:0 ~func:0 ~body:[| mk 1 ~dst:(r 0) Op.Alu |]
+        ~term:(B.Call { callee = 2; return_to = 1 });
+      simple_block 1 (B.Jump 0);
+      B.make ~id:2 ~func:1 ~body:[| mk 2 ~dst:(r 1) Op.Alu |] ~term:B.Return;
+    ]
+  in
+  let p = P.make ~entry:0 ~blocks in
+  let path = Prog.Walk.path_visits p ~seed:3 ~visits:6 in
+  Alcotest.(check (array int)) "call/return sequence" [| 0; 2; 1; 0; 2; 1 |] path
+
+let expand p seed n =
+  Prog.Trace.expand p ~seed (Prog.Walk.path_for_instrs p ~seed ~instrs:n)
+
+let test_trace_next_pc_chain () =
+  let p = tiny_program () in
+  let t = expand p 5 200 in
+  Array.iteri
+    (fun i (e : Prog.Trace.event) ->
+      if i + 1 < Array.length t then
+        Alcotest.(check int)
+          (Printf.sprintf "next_pc of event %d" i)
+          t.(i + 1).pc e.next_pc;
+      Alcotest.(check int) "seq" i e.seq)
+    t
+
+let test_trace_fetch_breaks () =
+  let p = tiny_program () in
+  let t = expand p 5 200 in
+  Array.iter
+    (fun (e : Prog.Trace.event) ->
+      let sequential = e.next_pc = e.pc + e.size in
+      if not sequential then
+        Alcotest.(check bool) "non-sequential implies break" true e.fetch_break)
+    t
+
+let test_trace_work_count () =
+  let p = tiny_program () in
+  let t = expand p 5 200 in
+  (* every event here is work: ALU bodies + synthetic terminators *)
+  Alcotest.(check int) "work equals events" (Array.length t)
+    (Prog.Trace.work_count t)
+
+let test_mem_addresses_deterministic_and_bounded () =
+  let mem = { I.region = 2; stride = 16; working_set = 256; randomness = 0.3 } in
+  let blocks =
+    [
+      B.make ~id:0 ~func:0
+        ~body:[| I.make ~uid:1 ~opcode:Op.Load ~dst:(r 0) ~mem () |]
+        ~term:(B.Jump 0);
+    ]
+  in
+  let p = P.make ~entry:0 ~blocks in
+  let t1 = expand p 9 100 and t2 = expand p 9 100 in
+  Array.iteri
+    (fun i (e : Prog.Trace.event) ->
+      Alcotest.(check int) "deterministic addr" t2.(i).mem_addr e.mem_addr;
+      if e.mem_addr >= 0 then begin
+        Alcotest.(check bool) "aligned to stride" true (e.mem_addr mod 16 = 0);
+        let base = 0x4000_0000 + (2 * 0x0100_0000) in
+        Alcotest.(check bool) "within working set" true
+          (e.mem_addr >= base && e.mem_addr < base + 256)
+      end)
+    t1
+
+let test_cond_branch_taken_matches_path () =
+  let blocks =
+    [
+      B.make ~id:0 ~func:0 ~body:[| mk 1 ~dst:(r 0) Op.Alu |]
+        ~term:(B.Cond_branch { taken = 2; not_taken = 1; taken_bias = 0.5 });
+      simple_block 1 (B.Jump 0);
+      simple_block 2 (B.Jump 0);
+    ]
+  in
+  let p = P.make ~entry:0 ~blocks in
+  let path = Prog.Walk.path_visits p ~seed:13 ~visits:50 in
+  let t = Prog.Trace.expand p ~seed:13 path in
+  Array.iteri
+    (fun i (e : Prog.Trace.event) ->
+      if e.is_cond_branch && i + 1 < Array.length t then begin
+        let next_block = t.(i + 1).block_id in
+        Alcotest.(check bool) "taken iff jumped to taken target" e.taken
+          (next_block = 2)
+      end)
+    t
+
+(* property: expansion length is stable and bodies carry body_index *)
+let prop_body_index =
+  QCheck.Test.make ~name:"body_index matches static position" ~count:50
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let p = tiny_program () in
+      let t = expand p seed 100 in
+      Array.for_all
+        (fun (e : Prog.Trace.event) ->
+          if e.body_index >= 0 then
+            let b = P.block p e.block_id in
+            e.body_index < Array.length b.B.body
+            && (b.B.body.(e.body_index)).I.uid = e.instr.I.uid
+          else Isa.Opcode.is_control e.instr.I.opcode)
+        t)
+
+let () =
+  Alcotest.run "prog"
+    [
+      ( "program",
+        [
+          Alcotest.test_case "validation" `Quick test_program_validation;
+          Alcotest.test_case "layout" `Quick test_layout;
+          Alcotest.test_case "thumb shrinks layout" `Quick test_layout_shrinks_with_thumb;
+          Alcotest.test_case "map_blocks guards CFG" `Quick test_map_blocks_guards_cfg;
+          Alcotest.test_case "find_instr" `Quick test_find_instr;
+        ] );
+      ( "walk",
+        [
+          Alcotest.test_case "deterministic" `Quick test_walk_deterministic;
+          Alcotest.test_case "visit count" `Quick test_walk_visits;
+          Alcotest.test_case "bias respected" `Quick test_walk_respects_bias;
+          Alcotest.test_case "call/return" `Quick test_call_return;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "next_pc chain" `Quick test_trace_next_pc_chain;
+          Alcotest.test_case "fetch breaks" `Quick test_trace_fetch_breaks;
+          Alcotest.test_case "work count" `Quick test_trace_work_count;
+          Alcotest.test_case "mem addresses" `Quick
+            test_mem_addresses_deterministic_and_bounded;
+          Alcotest.test_case "cond branch outcomes" `Quick
+            test_cond_branch_taken_matches_path;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_body_index ] );
+    ]
