@@ -2,7 +2,12 @@
 
    Default mode regenerates every table and figure of the paper from one
    shared experiment harness and prints them — this is the output
-   recorded in bench_output.txt / EXPERIMENTS.md.
+   recorded in bench_output.txt / EXPERIMENTS.md.  The harness evaluates
+   its (app × scheme × config) jobs across a domain pool; `--jobs N`
+   (or CRITICS_JOBS) sets the width, default
+   Domain.recommended_domain_count.  Per-artifact wall-clock timings are
+   written to BENCH_results.json so successive PRs have a perf
+   trajectory to compare against.
 
    `--micro` instead runs one Bechamel micro-benchmark per table/figure,
    timing the computational kernel behind each artifact (simulation,
@@ -122,16 +127,71 @@ let micro () =
 
 (* ------------------------- table regeneration --------------------- *)
 
-let tables () =
+let json_results ~jobs ~total_ms timings =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" jobs);
+  Buffer.add_string b (Printf.sprintf "  \"instrs\": %d,\n" instrs);
+  Buffer.add_string b (Printf.sprintf "  \"total_ms\": %.1f,\n" total_ms);
+  Buffer.add_string b "  \"artifacts\": [\n";
+  List.iteri
+    (fun i (id, ms) ->
+      Buffer.add_string b
+        (Printf.sprintf "    { \"id\": %S, \"wall_ms\": %.1f }%s\n" id ms
+           (if i = List.length timings - 1 then "" else ",")))
+    timings;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let tables ~jobs () =
   Printf.printf
     "CritICs reproduction — regenerating every table and figure\n\
      (%d work instructions per app run; see EXPERIMENTS.md for the\n\
      paper-vs-measured discussion)\n"
     instrs;
-  let h = Experiments.Harness.create ~instrs () in
-  Experiments.run_all h
+  let h = Experiments.Harness.create ~instrs ~jobs () in
+  let timings = ref [] in
+  let time id f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    timings := (id, 1000.0 *. (Unix.gettimeofday () -. t0)) :: !timings;
+    r
+  in
+  let t_start = Unix.gettimeofday () in
+  (* Evaluate every (app × scheme × config) job of every artifact across
+     the domain pool up front; the per-artifact renders below then read
+     from the memo tables (plus their own custom analyses). *)
+  time "prewarm" (fun () -> Experiments.prewarm h);
+  List.iter
+    (fun (e : Experiments.entry) ->
+      Printf.printf "\n===== %s — %s =====\n" e.id e.title;
+      time e.id (fun () -> print_string (e.render h));
+      print_newline ())
+    Experiments.all;
+  let total_ms = 1000.0 *. (Unix.gettimeofday () -. t_start) in
+  let json = json_results ~jobs ~total_ms (List.rev !timings) in
+  let oc = open_out "BENCH_results.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.eprintf "[bench] jobs=%d total=%.1fs — timings in BENCH_results.json\n"
+    jobs (total_ms /. 1000.0)
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: "--micro" :: _ -> micro ()
-  | _ -> tables ()
+  let rec parse args (micro_mode, jobs) =
+    match args with
+    | [] -> (micro_mode, jobs)
+    | "--micro" :: rest -> parse rest (true, jobs)
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some j when j >= 1 -> parse rest (micro_mode, j)
+      | _ -> failwith ("bad --jobs value " ^ n))
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
+      (match int_of_string_opt (String.sub arg 7 (String.length arg - 7)) with
+      | Some j when j >= 1 -> parse rest (micro_mode, j)
+      | _ -> failwith ("bad --jobs value " ^ arg))
+    | arg :: _ -> failwith ("unknown argument " ^ arg)
+  in
+  let micro_mode, jobs =
+    parse (List.tl (Array.to_list Sys.argv)) (false, Parallel.default_jobs ())
+  in
+  if micro_mode then micro () else tables ~jobs ()

@@ -188,12 +188,22 @@ let experiment_cmd =
     let doc = "Experiment id (tab1, tab2, fig1, ..., ablations) or `all'." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
-  let run id instrs =
-    let h = Experiments.Harness.create ~instrs () in
+  let jobs_arg =
+    let doc =
+      "Domains to evaluate simulations on (default: CRITICS_JOBS if set, \
+       else the machine's recommended domain count).  Results are \
+       bit-identical for every value."
+    in
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let run id instrs jobs =
+    let h = Experiments.Harness.create ~instrs ?jobs () in
     if id = "all" then Experiments.run_all h
     else
       match Experiments.find id with
-      | Some e -> print_endline (e.render h)
+      | Some e ->
+        Experiments.prewarm ~only:e h;
+        print_endline (e.render h)
       | None ->
         prerr_endline
           ("unknown experiment; available: all "
@@ -204,7 +214,7 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate a table/figure of the paper (or `all')")
-    Term.(const run $ id_arg $ instrs_arg)
+    Term.(const run $ id_arg $ instrs_arg $ jobs_arg)
 
 (* ------------------------------ main ----------------------------- *)
 

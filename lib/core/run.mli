@@ -6,6 +6,11 @@
     CritIC database.  {!stats} then evaluates any scheme on any machine
     configuration. *)
 
+type trace_cache
+(** One-entry memo of the last non-baseline expanded trace (see
+    {!trace_of}); mutex-protected so contexts can be shared across
+    domains by the parallel experiment harness. *)
+
 type app_context = {
   profile : Workload.Profile.t;
   program : Prog.Program.t;
@@ -13,6 +18,7 @@ type app_context = {
   path : Prog.Walk.path;
   trace : Prog.Trace.t;          (** baseline trace *)
   db : Profiler.Critic_db.t;
+  trace_cache : trace_cache;
 }
 
 val default_instrs : int
@@ -37,7 +43,10 @@ val transformed : app_context -> Scheme.t -> Prog.Program.t
 (** The program a scheme's compiler pipeline produces. *)
 
 val trace_of : app_context -> Scheme.t -> Prog.Trace.t
-(** The scheme's program expanded over the *same* block path. *)
+(** The scheme's program expanded over the *same* block path.  The most
+    recently expanded non-baseline trace is cached per context (the
+    expansion is deterministic, so repeated requests — e.g. the same
+    scheme under several machine configurations — reuse it). *)
 
 val stats :
   ?config:Pipeline.Config.t -> app_context -> Scheme.t -> Pipeline.Stats.t

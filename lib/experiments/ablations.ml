@@ -12,9 +12,73 @@ type result = {
 let default_apps () =
   List.filter_map Workload.Apps.find [ "Acrobat"; "Browser"; "Youtube" ]
 
+let cdp_penalties = [ 0; 1; 2 ]
+let iq_sizes = [ 16; 24; 48; 96 ]
+let fetch_queues = [ 8; 16; 24; 48 ]
+
+let jobs ?apps () =
+  let apps = match apps with Some a -> a | None -> default_apps () in
+  List.concat_map
+    (fun app ->
+      (Harness.job app Critics.Scheme.Baseline
+      :: List.map
+           (fun p ->
+             Harness.job
+               ~config:{ Pipeline.Config.table_i with cdp_decode_penalty = p }
+               app Critics.Scheme.Critic)
+           cdp_penalties)
+      @ List.map
+          (fun iq ->
+            Harness.job
+              ~config:{ Pipeline.Config.table_i with iq }
+              app Critics.Scheme.Baseline)
+          iq_sizes
+      @ List.map
+          (fun fq ->
+            Harness.job
+              ~config:{ Pipeline.Config.table_i with fetch_queue = fq }
+              app Critics.Scheme.Baseline)
+          fetch_queues
+      @ [
+          Harness.job
+            ~config:{ Pipeline.Config.table_i with wrong_path_fetch = true }
+            app Critics.Scheme.Baseline;
+        ])
+    apps
+
+(* Split [xs] into consecutive groups of [k]. *)
+let rec groups_of k xs =
+  match xs with
+  | [] -> []
+  | _ ->
+    let rec take n acc = function
+      | rest when n = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | x :: rest -> take (n - 1) (x :: acc) rest
+    in
+    let g, rest = take k [] xs in
+    g :: groups_of k rest
+
 let run ?apps h =
   let apps = match apps with Some a -> a | None -> default_apps () in
   let mean_over f = Harness.mean (List.map f apps) in
+  (* Fan settings × apps out over the harness pool (each task profiles
+     the trace afresh and runs a full simulation); regroup in order so
+     the per-setting means match a sequential run exactly. *)
+  let sweep settings label speedup_of =
+    let tasks =
+      List.concat_map (fun s -> List.map (fun a -> (s, a)) apps) settings
+    in
+    let per =
+      Parallel.Pool.map_list ~chunk:1 (Harness.pool h)
+        (fun (s, app) -> speedup_of s app)
+        tasks
+    in
+    List.map2
+      (fun s group -> { label = label s; speedup = Harness.mean group })
+      settings
+      (groups_of (List.length apps) per)
+  in
   let critic_speedup_with_db make_db (app : Workload.Profile.t) =
     let ctx = Harness.context h app in
     let base = Harness.stats h app Critics.Scheme.Baseline in
@@ -29,30 +93,16 @@ let run ?apps h =
     Critics.Run.speedup ~base st
   in
   let threshold =
-    List.map
+    sweep [ 2.0; 3.0; 4.0; 6.0; 8.0 ]
+      (fun t -> Printf.sprintf "threshold %.0f" t)
       (fun t ->
-        {
-          label = Printf.sprintf "threshold %.0f" t;
-          speedup =
-            mean_over
-              (critic_speedup_with_db (fun ctx ->
-                   Profiler.Profile_run.profile ~threshold:t
-                     ctx.Critics.Run.trace));
-        })
-      [ 2.0; 3.0; 4.0; 6.0; 8.0 ]
+        critic_speedup_with_db (fun ctx ->
+            Profiler.Profile_run.profile ~threshold:t ctx.Critics.Run.trace))
   in
   let metric =
-    List.map
-      (fun m ->
-        {
-          label = Profiler.Metric.name m;
-          speedup =
-            mean_over
-              (critic_speedup_with_db (fun ctx ->
-                   Profiler.Profile_run.profile ~metric:m
-                     ctx.Critics.Run.trace));
-        })
-      Profiler.Metric.all
+    sweep Profiler.Metric.all Profiler.Metric.name (fun m ->
+        critic_speedup_with_db (fun ctx ->
+            Profiler.Profile_run.profile ~metric:m ctx.Critics.Run.trace))
   in
   let cdp_penalty =
     List.map
@@ -68,7 +118,7 @@ let run ?apps h =
                      ~config_name:(Printf.sprintf "cdp%d" p)
                      ~config app Critics.Scheme.Critic));
         })
-      [ 0; 1; 2 ]
+      cdp_penalties
   in
   let machine_point name config =
     (* Baseline-machine sensitivity, reported as cycle change of the
@@ -89,7 +139,7 @@ let run ?apps h =
         machine_point
           (Printf.sprintf "iq %d" iq)
           { Pipeline.Config.table_i with iq })
-      [ 16; 24; 48; 96 ]
+      iq_sizes
   in
   let fetch_queue =
     List.map
@@ -97,7 +147,7 @@ let run ?apps h =
         machine_point
           (Printf.sprintf "fetchq %d" fq)
           { Pipeline.Config.table_i with fetch_queue = fq })
-      [ 8; 16; 24; 48 ]
+      fetch_queues
   in
   let wrong_path =
     [

@@ -22,6 +22,10 @@ type result = {
           pollution after mispredictions *)
 }
 
+val jobs : ?apps:Workload.Profile.t list -> unit -> Harness.job list
+(** Every memoized simulation [run] needs, for {!Harness.run_batch}
+    prewarming (the profiler sweeps are fanned out by [run] itself). *)
+
 val run : ?apps:Workload.Profile.t list -> Harness.t -> result
 (** Defaults to three representative mobile apps to bound runtime. *)
 

@@ -19,6 +19,16 @@ let prefetch_config =
 
 let prio_config = Pipeline.Config.with_backend_prio Pipeline.Config.table_i
 
+let jobs () =
+  List.concat_map
+    (fun app ->
+      [
+        Harness.job app Critics.Scheme.Baseline;
+        Harness.job ~config:prefetch_config app Critics.Scheme.Baseline;
+        Harness.job ~config:prio_config app Critics.Scheme.Baseline;
+      ])
+    (List.concat_map snd Harness.suites)
+
 let run h =
   let rows =
     List.map

@@ -28,5 +28,8 @@ type gap_row = {
 
 type result = { rows : suite_row list; gaps : gap_row list }
 
+val jobs : unit -> Harness.job list
+(** Every simulation [run] needs, for {!Harness.run_batch} prewarming. *)
+
 val run : Harness.t -> result
 val render : result -> string

@@ -38,7 +38,12 @@ let run ?(window = 2048) h =
       (Harness.context h app).Critics.Run.trace
   in
   let dbs =
-    List.map (fun (suite, apps) -> (suite, List.map wide_db apps)) Harness.suites
+    (* One wide-window profile per app, fanned out over the harness
+       pool; per-suite grouping and order are preserved. *)
+    List.map
+      (fun (suite, apps) ->
+        (suite, Parallel.Pool.map_list ~chunk:1 (Harness.pool h) wide_db apps))
+      Harness.suites
   in
   let rows =
     List.map

@@ -19,6 +19,23 @@ let mechanisms =
     ("AllHW", all_hw);
   ]
 
+let jobs () =
+  let mobile = List.assoc "Mobile" Harness.suites in
+  let configs =
+    Pipeline.Config.table_i
+    :: List.map (fun (_, f) -> f Pipeline.Config.table_i) mechanisms
+  in
+  List.concat_map
+    (fun app ->
+      List.concat_map
+        (fun config ->
+          [
+            Harness.job ~config app Critics.Scheme.Baseline;
+            Harness.job ~config app Critics.Scheme.Critic;
+          ])
+        configs)
+    mobile
+
 let run h =
   let mobile = List.assoc "Mobile" Harness.suites in
   let mean_speedup ?config_name ?config scheme =

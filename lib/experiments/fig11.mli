@@ -23,5 +23,8 @@ type stall_row = {
 
 type result = { critic_alone : float; rows : row list; stalls : stall_row list }
 
+val jobs : unit -> Harness.job list
+(** Every simulation [run] needs, for {!Harness.run_batch} prewarming. *)
+
 val run : Harness.t -> result
 val render : result -> string

@@ -17,52 +17,73 @@ let run_transformed (ctx : Critics.Run.app_context) program =
   Pipeline.Cpu.run Pipeline.Config.table_i
     (Prog.Trace.expand program ~seed:ctx.seed ctx.path)
 
+(* Split [xs] into consecutive groups of [k]. *)
+let rec groups_of k xs =
+  match xs with
+  | [] -> []
+  | _ ->
+    let rec take n acc = function
+      | rest when n = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | x :: rest -> take (n - 1) (x :: acc) rest
+    in
+    let g, rest = take k [] xs in
+    g :: groups_of k rest
+
 let run h =
   let mobile = List.assoc "Mobile" Harness.suites in
+  (* Both sensitivity sweeps re-transform and re-simulate per (setting,
+     app) — independent work, fanned out over the harness pool and
+     regrouped in input order so each mean matches a sequential run. *)
+  let fan settings per_point =
+    let tasks =
+      List.concat_map (fun s -> List.map (fun a -> (s, a)) mobile) settings
+    in
+    let per =
+      Parallel.Pool.map_list ~chunk:1 (Harness.pool h)
+        (fun (s, app) -> per_point s app)
+        tasks
+    in
+    List.combine settings (groups_of (List.length mobile) per)
+  in
   let lengths =
     List.map
-      (fun n ->
-        let per_app =
-          List.map
-            (fun app ->
-              let ctx = Harness.context h app in
-              let base = Harness.stats h app Critics.Scheme.Baseline in
-              let db = Profiler.Critic_db.exact_length n ctx.db in
-              let st = run_transformed ctx (apply_critic ~max_len:n ctx db) in
-              let cyc = float_of_int base.Pipeline.Stats.cycles in
-              ( Critics.Run.speedup ~base st,
-                float_of_int
-                  (base.Pipeline.Stats.fetch_idle_supply
-                  - st.Pipeline.Stats.fetch_idle_supply)
-                /. cyc,
-                Profiler.Critic_db.coverage db ))
-            mobile
-        in
+      (fun (n, per_app) ->
         {
           n;
           speedup = Harness.mean (List.map (fun (s, _, _) -> s) per_app);
           fetch_saving = Harness.mean (List.map (fun (_, f, _) -> f) per_app);
           coverage = Harness.mean (List.map (fun (_, _, c) -> c) per_app);
         })
-      [ 2; 3; 4; 5; 6; 7; 8; 9 ]
+      (fan
+         [ 2; 3; 4; 5; 6; 7; 8; 9 ]
+         (fun n app ->
+           let ctx = Harness.context h app in
+           let base = Harness.stats h app Critics.Scheme.Baseline in
+           let db = Profiler.Critic_db.exact_length n ctx.db in
+           let st = run_transformed ctx (apply_critic ~max_len:n ctx db) in
+           let cyc = float_of_int base.Pipeline.Stats.cycles in
+           ( Critics.Run.speedup ~base st,
+             float_of_int
+               (base.Pipeline.Stats.fetch_idle_supply
+               - st.Pipeline.Stats.fetch_idle_supply)
+             /. cyc,
+             Profiler.Critic_db.coverage db )))
   in
   let coverage =
     List.map
-      (fun fraction ->
-        let per_app =
-          List.map
-            (fun app ->
-              let ctx = Harness.context h app in
-              let base = Harness.stats h app Critics.Scheme.Baseline in
-              let db =
-                Profiler.Profile_run.profile ~fraction ctx.Critics.Run.trace
-              in
-              let st = run_transformed ctx (apply_critic ctx db) in
-              Critics.Run.speedup ~base st)
-            mobile
-        in
+      (fun (fraction, per_app) ->
         { fraction; speedup = Harness.mean per_app })
-      [ 0.125; 0.25; 0.375; 0.5; 0.75; 1.0 ]
+      (fan
+         [ 0.125; 0.25; 0.375; 0.5; 0.75; 1.0 ]
+         (fun fraction app ->
+           let ctx = Harness.context h app in
+           let base = Harness.stats h app Critics.Scheme.Baseline in
+           let db =
+             Profiler.Profile_run.profile ~fraction ctx.Critics.Run.trace
+           in
+           let st = run_transformed ctx (apply_critic ctx db) in
+           Critics.Run.speedup ~base st))
   in
   { lengths; coverage }
 

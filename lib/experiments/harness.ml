@@ -1,39 +1,185 @@
+type job = {
+  job_profile : Workload.Profile.t;
+  job_scheme : Critics.Scheme.t option; (* None: prepare the context only *)
+  job_config : Pipeline.Config.t;
+}
+
 type t = {
   instrs : int;
+  jobs : int;
+  pool : Parallel.Pool.t Lazy.t;
+  lock : Mutex.t;
   contexts : (string, Critics.Run.app_context) Hashtbl.t;
   results : (string, Pipeline.Stats.t) Hashtbl.t;
 }
 
-let create ?(instrs = Critics.Run.default_instrs) () =
-  { instrs; contexts = Hashtbl.create 32; results = Hashtbl.create 256 }
+let create ?(instrs = Critics.Run.default_instrs) ?jobs () =
+  let jobs =
+    max 1 (match jobs with Some j -> j | None -> Parallel.default_jobs ())
+  in
+  {
+    instrs;
+    jobs;
+    pool = lazy (Parallel.Pool.create ~jobs ());
+    lock = Mutex.create ();
+    contexts = Hashtbl.create 32;
+    results = Hashtbl.create 256;
+  }
 
 let instrs t = t.instrs
+let jobs t = t.jobs
+let pool t = Lazy.force t.pool
+
+(* The memoization key depends on the *actual* machine configuration,
+   not on a caller-supplied label: Config.t is a pure data record, so a
+   digest of its marshalled bytes is a canonical fingerprint.  Callers
+   passing a custom [?config] without a [?config_name] used to collide
+   with the default "table_i" entry and read back stale stats; two
+   different labels for structurally equal configs also no longer run
+   the simulation twice. *)
+let config_fingerprint (config : Pipeline.Config.t) =
+  Digest.to_hex (Digest.string (Marshal.to_string config []))
+
+let default_fingerprint = config_fingerprint Pipeline.Config.table_i
+
+let result_key (profile : Workload.Profile.t) scheme fingerprint =
+  Printf.sprintf "%s/%s/%s" profile.name (Critics.Scheme.name scheme)
+    fingerprint
 
 let context t (profile : Workload.Profile.t) =
-  match Hashtbl.find_opt t.contexts profile.name with
+  Mutex.lock t.lock;
+  let cached = Hashtbl.find_opt t.contexts profile.name in
+  Mutex.unlock t.lock;
+  match cached with
   | Some ctx -> ctx
   | None ->
     let ctx = Critics.Run.prepare ~instrs:t.instrs profile in
-    Hashtbl.replace t.contexts profile.name ctx;
+    Mutex.lock t.lock;
+    (* Another domain may have raced us here; keep the first insert so
+       every caller shares one context (and its trace cache). *)
+    let ctx =
+      match Hashtbl.find_opt t.contexts profile.name with
+      | Some existing -> existing
+      | None ->
+        Hashtbl.replace t.contexts profile.name ctx;
+        ctx
+    in
+    Mutex.unlock t.lock;
     ctx
 
-let stats t ?(config_name = "table_i") ?config (profile : Workload.Profile.t)
-    scheme =
-  let key =
-    Printf.sprintf "%s/%s/%s" profile.name (Critics.Scheme.name scheme)
-      config_name
+let stats t ?config_name ?config (profile : Workload.Profile.t) scheme =
+  ignore config_name;
+  let fingerprint =
+    match config with
+    | None -> default_fingerprint
+    | Some c -> config_fingerprint c
   in
-  match Hashtbl.find_opt t.results key with
+  let key = result_key profile scheme fingerprint in
+  Mutex.lock t.lock;
+  let cached = Hashtbl.find_opt t.results key in
+  Mutex.unlock t.lock;
+  match cached with
   | Some st -> st
   | None ->
     let ctx = context t profile in
     let st = Critics.Run.stats ?config ctx scheme in
+    Mutex.lock t.lock;
     Hashtbl.replace t.results key st;
+    Mutex.unlock t.lock;
     st
 
 let speedup t ?config_name ?config profile scheme =
   let base = stats t profile Critics.Scheme.Baseline in
   Critics.Run.speedup ~base (stats t ?config_name ?config profile scheme)
+
+(* ------------------------------ batches --------------------------- *)
+
+let job ?config profile scheme =
+  {
+    job_profile = profile;
+    job_scheme = Some scheme;
+    job_config = (match config with Some c -> c | None -> Pipeline.Config.table_i);
+  }
+
+let context_job profile =
+  {
+    job_profile = profile;
+    job_scheme = None;
+    job_config = Pipeline.Config.table_i;
+  }
+
+let run_batch t jobs =
+  let module SSet = Set.Make (String) in
+  (* Phase 1: prepare every missing context, one parallel task per
+     application (chunk 1: preparation cost is uneven across apps). *)
+  let known =
+    Mutex.lock t.lock;
+    let k =
+      Hashtbl.fold (fun name _ acc -> SSet.add name acc) t.contexts SSet.empty
+    in
+    Mutex.unlock t.lock;
+    k
+  in
+  let missing_profiles =
+    List.sort_uniq
+      (fun (a : Workload.Profile.t) b -> compare a.name b.name)
+      (List.filter
+         (fun j -> not (SSet.mem j.job_profile.name known))
+         jobs
+      |> List.map (fun j -> j.job_profile))
+  in
+  let prepared =
+    Parallel.Pool.map_list ~chunk:1 (pool t)
+      (fun (p : Workload.Profile.t) ->
+        (p.name, Critics.Run.prepare ~instrs:t.instrs p))
+      missing_profiles
+  in
+  Mutex.lock t.lock;
+  List.iter
+    (fun (name, ctx) ->
+      if not (Hashtbl.mem t.contexts name) then
+        Hashtbl.replace t.contexts name ctx)
+    prepared;
+  Mutex.unlock t.lock;
+  (* Phase 2: evaluate every missing (app, scheme, config) simulation.
+     Jobs are grouped by (app, scheme) so consecutive jobs in a chunk
+     share the per-context transformed-trace cache. *)
+  let have =
+    Mutex.lock t.lock;
+    let k =
+      Hashtbl.fold (fun key _ acc -> SSet.add key acc) t.results SSet.empty
+    in
+    Mutex.unlock t.lock;
+    k
+  in
+  let keyed =
+    List.filter_map
+      (fun j ->
+        match j.job_scheme with
+        | None -> None
+        | Some scheme ->
+          let key =
+            result_key j.job_profile scheme (config_fingerprint j.job_config)
+          in
+          if SSet.mem key have then None else Some (key, j, scheme))
+      jobs
+  in
+  let dedup =
+    List.sort_uniq (fun (a, _, _) (b, _, _) -> compare a b) keyed
+  in
+  let computed =
+    Parallel.Pool.map_list ~chunk:1 (pool t)
+      (fun (key, j, scheme) ->
+        let ctx = context t j.job_profile in
+        (key, Critics.Run.stats ~config:j.job_config ctx scheme))
+      dedup
+  in
+  Mutex.lock t.lock;
+  List.iter
+    (fun (key, st) ->
+      if not (Hashtbl.mem t.results key) then Hashtbl.replace t.results key st)
+    computed;
+  Mutex.unlock t.lock
 
 let mean = Util.Stats.mean
 

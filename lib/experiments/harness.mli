@@ -1,22 +1,42 @@
-(** Shared experiment harness.
+(** Shared experiment harness: a parallel batch engine.
 
     Prepares each application once (program, path, trace, CritIC
     database) and memoizes simulation results keyed by
-    (app, scheme, machine configuration), so the figure modules can
-    freely share runs.  All experiments in this library draw from one
-    harness instance; [dune exec bench/main.exe] builds a single harness
-    and regenerates every table and figure from it. *)
+    (app, scheme, machine-configuration fingerprint), so the figure
+    modules can freely share runs.  All experiments in this library draw
+    from one harness instance; [dune exec bench/main.exe] builds a
+    single harness and regenerates every table and figure from it.
+
+    Independent (app × scheme × config) jobs can be evaluated across a
+    pool of OCaml 5 domains: enqueue them with {!run_batch} and the
+    memoized lookups ({!stats}, {!speedup}, {!context}) become cache
+    hits.  Results are bit-identical to a sequential run — every job is
+    deterministic (per-context seeded RNG, no shared mutable simulation
+    state) and the memo tables are mutex-protected — which the test
+    suite asserts. *)
 
 type t
 
-val create : ?instrs:int -> unit -> t
+val create : ?instrs:int -> ?jobs:int -> unit -> t
 (** [instrs] is the work-instruction budget per application run
-    (default {!Critics.Run.default_instrs}). *)
+    (default {!Critics.Run.default_instrs}).  [jobs] is the parallelism
+    width for {!run_batch} (default {!Parallel.default_jobs}: the
+    [CRITICS_JOBS] environment variable, else
+    [Domain.recommended_domain_count ()]); [jobs = 1] never spawns a
+    domain and evaluates everything sequentially in the caller. *)
 
 val instrs : t -> int
 
+val jobs : t -> int
+(** Parallelism width this harness was created with. *)
+
+val pool : t -> Parallel.Pool.t
+(** The harness's domain pool, for experiment modules that parallelize
+    custom per-app computations beyond the memoized simulations.  Do not
+    call pool operations from inside tasks already running on it. *)
+
 val context : t -> Workload.Profile.t -> Critics.Run.app_context
-(** Cached per-application context. *)
+(** Cached per-application context (thread-safe). *)
 
 val stats :
   t ->
@@ -25,9 +45,11 @@ val stats :
   Workload.Profile.t ->
   Critics.Scheme.t ->
   Pipeline.Stats.t
-(** Cached simulation.  [config_name] must uniquely identify [config]
-    when a non-default configuration is passed (it is the memoization
-    key). *)
+(** Cached simulation (thread-safe).  The memo key is derived from the
+    *actual* [config] value (a digest of the configuration record), so
+    distinct configurations never collide and structurally equal ones
+    share one entry; [config_name] is accepted for backward
+    compatibility and used only as a human-readable label. *)
 
 val speedup :
   t ->
@@ -38,6 +60,27 @@ val speedup :
   float
 (** Speedup of (scheme, config) over (Baseline, default config) for the
     same application and work. *)
+
+(** {2 Batch evaluation} *)
+
+type job
+(** One unit of work: prepare an application and, unless it is a
+    context-only job, simulate one (scheme, config) on it. *)
+
+val job :
+  ?config:Pipeline.Config.t -> Workload.Profile.t -> Critics.Scheme.t -> job
+(** A simulation job ([config] defaults to Table I). *)
+
+val context_job : Workload.Profile.t -> job
+(** Prepare the application context only (program, trace, CritIC
+    database) — for experiments that consume contexts directly. *)
+
+val run_batch : t -> job list -> unit
+(** Evaluate every not-yet-memoized job across the harness's domain
+    pool and store the results: first all missing application contexts
+    in parallel, then all missing simulations in parallel.  Duplicate
+    and already-cached jobs are skipped.  Subsequent {!stats} /
+    {!context} calls are cache hits. *)
 
 val mean : float list -> float
 

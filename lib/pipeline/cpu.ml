@@ -1,4 +1,5 @@
 type slot = {
+  idx : int;                   (* position in the slot array *)
   ev : Prog.Trace.event;
   mutable fetch_request : int; (* cycle the fetch engine first reached it *)
   mutable stall_i : int;       (* supply-side stall cycles while fetch head *)
@@ -11,7 +12,8 @@ type slot = {
   mutable committed : int;
   mutable waiting_on : int;    (* unresolved producers *)
   mutable ready_time : int;    (* earliest issue cycle *)
-  mutable dependents : slot list;
+  mutable dependents : int array; (* slot indices; grown geometrically *)
+  mutable ndeps : int;
   mutable fanout : int;        (* consumers renamed before our commit *)
   mutable in_iq : bool;
 }
@@ -54,9 +56,10 @@ let acc_to_summary a : Stats.stage_summary =
 let run ?(warm = true) (cfg : Config.t) (trace : Prog.Trace.t) : Stats.t =
   let n = Array.length trace in
   let slots =
-    Array.map
-      (fun ev ->
+    Array.mapi
+      (fun idx ev ->
         {
+          idx;
           ev;
           fetch_request = -1;
           stall_i = 0;
@@ -69,7 +72,8 @@ let run ?(warm = true) (cfg : Config.t) (trace : Prog.Trace.t) : Stats.t =
           committed = -1;
           waiting_on = 0;
           ready_time = 0;
-          dependents = [];
+          dependents = [||];
+          ndeps = 0;
           fanout = 0;
           in_iq = false;
         })
@@ -96,8 +100,31 @@ let run ?(warm = true) (cfg : Config.t) (trace : Prog.Trace.t) : Stats.t =
   let fetch_q : slot Queue.t = Queue.create () in
   let decode_q : slot Queue.t = Queue.create () in
   let rob : slot Queue.t = Queue.create () in
-  let iq : slot list ref = ref [] in
-  let iq_size = ref 0 in
+  (* Issue queue: a flat array in insertion (age) order.  Capacity is
+     bounded by cfg.iq (rename stops at that size), so one allocation
+     serves the whole run; the backing array is created on first insert
+     because [Array.make] needs a live slot as seed. *)
+  let iq_cap = max 1 cfg.iq in
+  let iq_arr : slot array ref = ref [||] in
+  let iq_len = ref 0 in
+  let iq_push s =
+    if Array.length !iq_arr = 0 then iq_arr := Array.make iq_cap s;
+    !iq_arr.(!iq_len) <- s;
+    incr iq_len
+  in
+  (* Dependent edges are stored as indices into [slots] in growable int
+     arrays — no list cons per wake-up edge. *)
+  let add_dependent producer (s : slot) =
+    let nd = producer.ndeps in
+    let cap = Array.length producer.dependents in
+    if nd = cap then begin
+      let grown = Array.make (max 4 (2 * cap)) 0 in
+      Array.blit producer.dependents 0 grown 0 nd;
+      producer.dependents <- grown
+    end;
+    producer.dependents.(nd) <- s.idx;
+    producer.ndeps <- nd + 1
+  in
 
   (* Completion calendar: cycle -> slots finishing then. *)
   let calendar : (int, slot list) Hashtbl.t = Hashtbl.create 1024 in
@@ -139,7 +166,8 @@ let run ?(warm = true) (cfg : Config.t) (trace : Prog.Trace.t) : Stats.t =
   let acc_crit = new_acc () in
   let acc_chain = new_acc () in
 
-  let line_of pc = pc land lnot (cfg.mem.line_bytes - 1) in
+  let line_mask = lnot (cfg.mem.line_bytes - 1) in
+  let line_of pc = pc land line_mask in
 
   let is_critical s = s.fanout >= cfg.fanout_critical_threshold in
 
@@ -199,12 +227,14 @@ let run ?(warm = true) (cfg : Config.t) (trace : Prog.Trace.t) : Stats.t =
       Hashtbl.remove calendar now;
       List.iter
         (fun s ->
-          List.iter
-            (fun dep ->
-              dep.waiting_on <- dep.waiting_on - 1;
-              if dep.ready_time < now then dep.ready_time <- now)
-            s.dependents;
-          s.dependents <- [])
+          let deps = s.dependents in
+          for k = 0 to s.ndeps - 1 do
+            let dep = slots.(deps.(k)) in
+            dep.waiting_on <- dep.waiting_on - 1;
+            if dep.ready_time < now then dep.ready_time <- now
+          done;
+          s.dependents <- [||];
+          s.ndeps <- 0)
         finished
   in
 
@@ -247,34 +277,60 @@ let run ?(warm = true) (cfg : Config.t) (trace : Prog.Trace.t) : Stats.t =
     schedule_completion s completion
   in
 
+  (* Issue-stage scratch state, allocated once per run (not per cycle):
+     the unit counters, the issue counter, and the per-cycle criticality
+     flags for Critical_first (predict is queried exactly once per queue
+     entry, in age order, matching the former List.partition). *)
+  let alu = ref 0 and mul = ref 0 and mem = ref 0 and fp = ref 0 in
+  let br = ref 0 in
+  let issued = ref 0 in
+  let crit_flags = Array.make iq_cap false in
+  let try_issue now (s : slot) =
+    if
+      !issued < cfg.width && s.in_iq && s.waiting_on = 0
+      && now >= s.ready_time
+      && unit_available now s.ev.instr.opcode ~alu ~mul ~mem ~fp ~br
+    then begin
+      consume_unit now s.ev.instr.opcode ~alu ~mul ~mem ~fp ~br;
+      issue_one now s;
+      incr issued
+    end
+  in
   let do_issue now =
-    let alu = ref 0 and mul = ref 0 and mem = ref 0 and fp = ref 0 in
-    let br = ref 0 in
-    let issued = ref 0 in
-    let try_issue s =
-      if
-        !issued < cfg.width && s.in_iq && s.waiting_on = 0
-        && now >= s.ready_time
-        && unit_available now s.ev.instr.opcode ~alu ~mul ~mem ~fp ~br
-      then begin
-        consume_unit now s.ev.instr.opcode ~alu ~mul ~mem ~fp ~br;
-        issue_one now s;
-        incr issued
-      end
-    in
+    alu := 0;
+    mul := 0;
+    mem := 0;
+    fp := 0;
+    br := 0;
+    issued := 0;
+    let a = !iq_arr in
+    let len = !iq_len in
     (match cfg.issue_policy with
-    | Config.Oldest_first -> List.iter try_issue !iq
+    | Config.Oldest_first ->
+      for i = 0 to len - 1 do
+        try_issue now a.(i)
+      done
     | Config.Critical_first ->
-      let critical, rest =
-        List.partition
-          (fun s -> Criticality_table.predict crit_table ~pc:s.ev.pc)
-          !iq
-      in
-      List.iter try_issue critical;
-      List.iter try_issue rest);
+      for i = 0 to len - 1 do
+        crit_flags.(i) <- Criticality_table.predict crit_table ~pc:a.(i).ev.pc
+      done;
+      for i = 0 to len - 1 do
+        if crit_flags.(i) then try_issue now a.(i)
+      done;
+      for i = 0 to len - 1 do
+        if not crit_flags.(i) then try_issue now a.(i)
+      done);
     if !issued > 0 then begin
-      iq := List.filter (fun s -> s.in_iq) !iq;
-      iq_size := List.length !iq
+      (* Compact in place, preserving age order. *)
+      let j = ref 0 in
+      for i = 0 to len - 1 do
+        let s = a.(i) in
+        if s.in_iq then begin
+          a.(!j) <- s;
+          incr j
+        end
+      done;
+      iq_len := !j
     end
   in
 
@@ -285,7 +341,7 @@ let run ?(warm = true) (cfg : Config.t) (trace : Prog.Trace.t) : Stats.t =
       !continue && !budget > 0
       && (not (Queue.is_empty decode_q))
       && Queue.length rob < cfg.rob
-      && !iq_size < cfg.iq
+      && !iq_len < cfg.iq
     do
       let s = Queue.peek decode_q in
       if s.decoded >= 0 && s.decoded < now then begin
@@ -303,7 +359,7 @@ let run ?(warm = true) (cfg : Config.t) (trace : Prog.Trace.t) : Stats.t =
                   producer.fanout <- producer.fanout + 1;
                 if producer.completed < 0 then begin
                   (* completion time unknown: wait for wake-up *)
-                  producer.dependents <- s :: producer.dependents;
+                  add_dependent producer s;
                   s.waiting_on <- s.waiting_on + 1
                 end
                 else if producer.completed > now then begin
@@ -317,8 +373,7 @@ let run ?(warm = true) (cfg : Config.t) (trace : Prog.Trace.t) : Stats.t =
           (fun r -> rename_table.(Isa.Reg.index r) <- Some s)
           (Isa.Instr.regs_written s.ev.instr);
         Queue.add s rob;
-        iq := !iq @ [ s ];
-        incr iq_size;
+        iq_push s;
         s.in_iq <- true;
         decr budget
       end
@@ -365,6 +420,12 @@ let run ?(warm = true) (cfg : Config.t) (trace : Prog.Trace.t) : Stats.t =
     end
   in
 
+  (* Fetch-stage scratch refs, allocated once per run. *)
+  let bytes = ref 0 in
+  let new_line_accessed = ref false in
+  let fetched_any = ref false in
+  let blocked_bp = ref false in
+  let stop = ref false in
   let do_fetch now =
     if !fetch_idx < n then begin
       let head = slots.(!fetch_idx) in
@@ -402,11 +463,11 @@ let run ?(warm = true) (cfg : Config.t) (trace : Prog.Trace.t) : Stats.t =
         incr idle_supply
       end
       else begin
-        let bytes = ref cfg.fetch_bytes in
-        let new_line_accessed = ref false in
-        let fetched_any = ref false in
-        let blocked_bp = ref false in
-        let stop = ref false in
+        bytes := cfg.fetch_bytes;
+        new_line_accessed := false;
+        fetched_any := false;
+        blocked_bp := false;
+        stop := false;
         while not !stop do
           if !fetch_idx >= n then stop := true
           else begin

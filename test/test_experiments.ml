@@ -63,6 +63,72 @@ let test_harness_speedup_zero_for_baseline () =
   Alcotest.(check (float 1e-9)) "baseline speedup is zero" 0.0
     (Experiments.Harness.speedup h app Critics.Scheme.Baseline)
 
+let test_parallel_determinism () =
+  (* The acceptance bar for the batch engine: a jobs=4 harness must
+     produce stat-for-stat identical results to a jobs=1 harness. *)
+  let apps =
+    List.map
+      (fun n -> Option.get (Workload.Apps.find n))
+      [ "Music"; "lbm" ]
+  in
+  let schemes =
+    [ Critics.Scheme.Baseline; Critics.Scheme.Critic; Critics.Scheme.Hoist ]
+  in
+  let jobs_list =
+    List.concat_map
+      (fun app -> List.map (Experiments.Harness.job app) schemes)
+      apps
+  in
+  let seq = Experiments.Harness.create ~instrs:8_000 ~jobs:1 () in
+  let par = Experiments.Harness.create ~instrs:8_000 ~jobs:4 () in
+  Experiments.Harness.run_batch seq jobs_list;
+  Experiments.Harness.run_batch par jobs_list;
+  List.iter
+    (fun app ->
+      List.iter
+        (fun scheme ->
+          let a = Experiments.Harness.stats seq app scheme in
+          let b = Experiments.Harness.stats par app scheme in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s identical" app.Workload.Profile.name
+               (Critics.Scheme.name scheme))
+            true (a = b))
+        schemes)
+    apps
+
+let test_memo_key_uses_config () =
+  (* Regression: a custom ?config without a distinguishing name used to
+     collide with the default entry in the memo table, returning stale
+     table-I stats for the custom machine (and vice versa). *)
+  let h = Experiments.Harness.create ~instrs:8_000 () in
+  let app = Option.get (Workload.Apps.find "Music") in
+  let default_stats = Experiments.Harness.stats h app Critics.Scheme.Baseline in
+  let custom = { Pipeline.Config.table_i with iq = 8 } in
+  let custom_stats =
+    Experiments.Harness.stats h ~config:custom app Critics.Scheme.Baseline
+  in
+  Alcotest.(check bool) "custom config not served stale default stats" true
+    (custom_stats.Pipeline.Stats.cycles <> default_stats.Pipeline.Stats.cycles);
+  let direct =
+    Critics.Run.stats ~config:custom
+      (Experiments.Harness.context h app)
+      Critics.Scheme.Baseline
+  in
+  Alcotest.(check int) "memoized custom stats match a direct run"
+    direct.Pipeline.Stats.cycles custom_stats.Pipeline.Stats.cycles;
+  (* default entry must be untouched by the custom run *)
+  let again = Experiments.Harness.stats h app Critics.Scheme.Baseline in
+  Alcotest.(check int) "default entry untouched" default_stats.cycles
+    again.cycles;
+  (* structurally-equal configs share one memo entry regardless of the
+     caller-supplied label: same physical record comes back *)
+  let renamed_stats =
+    Experiments.Harness.stats h ~config_name:"copy"
+      ~config:Pipeline.Config.table_i app Critics.Scheme.Baseline
+  in
+  Alcotest.(check bool) "equal configs share one memo entry" true
+    (renamed_stats == again)
+
 let test_suites_structure () =
   Alcotest.(check int) "three suites" 3 (List.length Experiments.Harness.suites);
   List.iter
@@ -83,5 +149,12 @@ let () =
           Alcotest.test_case "baseline speedup" `Quick
             test_harness_speedup_zero_for_baseline;
           Alcotest.test_case "suites" `Quick test_suites_structure;
+        ] );
+      ( "batch engine",
+        [
+          Alcotest.test_case "parallel = sequential" `Quick
+            test_parallel_determinism;
+          Alcotest.test_case "memo key uses config" `Quick
+            test_memo_key_uses_config;
         ] );
     ]
