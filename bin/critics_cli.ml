@@ -216,6 +216,73 @@ let experiment_cmd =
        ~doc:"Regenerate a table/figure of the paper (or `all')")
     Term.(const run $ id_arg $ instrs_arg $ jobs_arg)
 
+(* ------------------------------- check ---------------------------- *)
+
+let check_cmd =
+  let cases_arg =
+    let doc =
+      "Fuzzed programs to run through the differential harness (in \
+       addition to the seed applications)."
+    in
+    Arg.(value & opt int 200 & info [ "cases" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Base fuzz seed; case $(i) uses seed SEED+$(i)." in
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let run cases seed =
+    let module D = Oracle.Differential in
+    let failures = ref 0 in
+    let events = ref 0 in
+    let report label = function
+      | Ok n -> events := !events + n
+      | Error msg ->
+        incr failures;
+        Printf.eprintf "FAIL %-24s %s\n%!" label msg
+    in
+    Printf.printf
+      "differential check: %d apps x %d machine configs, then %d fuzzed \
+       programs\n%!"
+      (List.length Workload.Apps.all)
+      (List.length D.configs) cases;
+    List.iter
+      (fun (p : Workload.Profile.t) ->
+        report p.name
+          (D.check_program ~instrs:1_500 (Workload.Gen.program p)
+             ~seed:(p.seed lxor 0x5EED)))
+      Workload.Apps.all;
+    let fuzz_configs =
+      List.filter
+        (fun (name, _) -> List.mem name [ "table_i"; "narrow2"; "wrong_path" ])
+        D.configs
+    in
+    for i = 0 to cases - 1 do
+      let s = seed + i in
+      let program = Workload.Fuzz.program_of_seed s in
+      match
+        D.check_program ~configs:fuzz_configs ~variant_configs:fuzz_configs
+          ~instrs:500 program ~seed:((s * 7) + 1)
+      with
+      | Ok n -> events := !events + n
+      | Error msg ->
+        incr failures;
+        Printf.eprintf "FAIL fuzz seed %d: %s\ngenome:\n%s\n%!" s msg
+          (Workload.Fuzz.to_string (Workload.Fuzz.spec_of_seed s))
+    done;
+    if !failures = 0 then
+      Printf.printf "ok: %d retirements compared, no divergence\n" !events
+    else begin
+      Printf.eprintf "%d check(s) failed\n" !failures;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Differentially test the simulator, the trace expander and every \
+          transform against the golden architectural model")
+    Term.(const run $ cases_arg $ seed_arg)
+
 (* ------------------------------ main ----------------------------- *)
 
 let () =
@@ -227,4 +294,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ apps_cmd; config_cmd; schemes_cmd; run_cmd; compare_cmd;
-            profile_cmd; characterize_cmd; experiment_cmd ]))
+            profile_cmd; characterize_cmd; experiment_cmd; check_cmd ]))

@@ -1,0 +1,28 @@
+(** Golden reference model: a one-instruction-per-step architectural
+    interpreter over {!Prog.Program}, fully independent of the cycle
+    simulator.
+
+    The ISA carries no concrete semantics (no immediates), so the
+    interpreter defines a canonical deterministic one: every value is a
+    SplitMix64 mix of the instruction's source-operand values keyed by
+    opcode and predication, loads read a flat memory whose address
+    stream re-derives the published [Prog.Trace.mem_address] rule, and
+    stores fold their data operands.  Two programs compute the same
+    commit log iff they have the same dataflow — which is exactly the
+    property compiler passes must preserve. *)
+
+type result = {
+  log : Commit_log.t;
+  path : Prog.Walk.path;  (** block instances executed, in order *)
+  work_instrs : int;      (** work instructions (trace-visible, non-marker) *)
+}
+
+val run_path : Prog.Program.t -> seed:int -> Prog.Walk.path -> result
+(** Execute the program along an externally supplied block path (e.g.
+    one produced by {!Prog.Walk.path_for_instrs}). *)
+
+val run : Prog.Program.t -> seed:int -> instrs:int -> result
+(** Execute the program along the oracle's own independent
+    re-implementation of the {!Prog.Walk} sampling rule ([instrs] body
+    instructions budget).  The resulting [path] lets the differential
+    harness cross-check the two walk implementations. *)

@@ -1,3 +1,9 @@
+type commit = {
+  commit_seq : int;   (* position in the ROB retirement stream *)
+  commit_cycle : int;
+  event : Prog.Trace.event;
+}
+
 type slot = {
   idx : int;                   (* position in the slot array *)
   ev : Prog.Trace.event;
@@ -53,7 +59,8 @@ let acc_to_summary a : Stats.stage_summary =
     commit_wait = a.commit_wait;
   }
 
-let run ?(warm = true) (cfg : Config.t) (trace : Prog.Trace.t) : Stats.t =
+let run ?(warm = true) ?(checks = false) ?on_commit (cfg : Config.t)
+    (trace : Prog.Trace.t) : Stats.t =
   let n = Array.length trace in
   let slots =
     Array.mapi
@@ -162,6 +169,19 @@ let run ?(warm = true) (cfg : Config.t) (trace : Prog.Trace.t) : Stats.t =
   let thumb_committed = ref 0 in
   let cdp_markers = ref 0 in
   let critical_count = ref 0 in
+  let commit_seq = ref 0 in
+  (* Invariant-check bookkeeping (tiny when checks are off). *)
+  let last_committed_idx = ref (-1) in
+  let producers : (int, slot list) Hashtbl.t =
+    Hashtbl.create (if checks then 1024 else 1)
+  in
+  let fetch_live = ref 0 in
+  let fetch_active = ref 0 in
+  let invariant_fail fmt =
+    Printf.ksprintf
+      (fun msg -> failwith ("Cpu.run invariant violated: " ^ msg))
+      fmt
+  in
   let acc_all = new_acc () in
   let acc_crit = new_acc () in
   let acc_chain = new_acc () in
@@ -184,6 +204,29 @@ let run ?(warm = true) (cfg : Config.t) (trace : Prog.Trace.t) : Stats.t =
 
   let retire now (s : slot) =
     s.committed <- now;
+    (match on_commit with
+    | None -> ()
+    | Some f -> f { commit_seq = !commit_seq; commit_cycle = now; event = s.ev });
+    incr commit_seq;
+    if checks then begin
+      if s.idx <= !last_committed_idx then
+        invariant_fail "out-of-order retirement: slot %d after slot %d" s.idx
+          !last_committed_idx;
+      last_committed_idx := s.idx;
+      if
+        not
+          (0 <= s.fetch_request
+          && s.fetch_request <= s.fetched
+          && s.fetched < s.decoded && s.decoded < s.renamed
+          && s.renamed < s.issued && s.issued <= s.completed
+          && s.completed <= now)
+      then
+        invariant_fail
+          "non-monotone stage timestamps for slot %d (uid %d): \
+           req=%d f=%d d=%d r=%d i=%d x=%d c=%d"
+          s.idx s.ev.instr.uid s.fetch_request s.fetched s.decoded s.renamed
+          s.issued s.completed now
+    end;
     incr committed_total;
     (* Work accounting mirrors Trace.work_count. *)
     let is_work =
@@ -264,6 +307,20 @@ let run ?(warm = true) (cfg : Config.t) (trace : Prog.Trace.t) : Stats.t =
   in
 
   let issue_one now (s : slot) =
+    if checks then begin
+      match Hashtbl.find_opt producers s.idx with
+      | None -> ()
+      | Some ps ->
+        List.iter
+          (fun (p : slot) ->
+            if p.completed < 0 || p.completed > now then
+              invariant_fail
+                "slot %d (uid %d) issued at cycle %d before producer slot %d \
+                 (uid %d) completed"
+                s.idx s.ev.instr.uid now p.idx p.ev.instr.uid)
+          ps;
+        Hashtbl.remove producers s.idx
+    end;
     s.issued <- now;
     s.in_iq <- false;
     let completion =
@@ -297,6 +354,17 @@ let run ?(warm = true) (cfg : Config.t) (trace : Prog.Trace.t) : Stats.t =
     end
   in
   let do_issue now =
+    if checks then begin
+      (* The issue queue must stay within capacity and in age order —
+         the select loops below rely on scanning it oldest-first. *)
+      if !iq_len > cfg.iq then
+        invariant_fail "issue queue over capacity: %d > %d" !iq_len cfg.iq;
+      let a = !iq_arr in
+      for i = 1 to !iq_len - 1 do
+        if a.(i - 1).idx >= a.(i).idx then
+          invariant_fail "issue queue not in age order at position %d" i
+      done
+    end;
     alu := 0;
     mul := 0;
     mem := 0;
@@ -369,6 +437,7 @@ let run ?(warm = true) (cfg : Config.t) (trace : Prog.Trace.t) : Stats.t =
               end
             | _ -> ())
           (Isa.Instr.regs_read s.ev.instr);
+        if checks && !seen <> [] then Hashtbl.replace producers s.idx !seen;
         List.iter
           (fun r -> rename_table.(Isa.Reg.index r) <- Some s)
           (Isa.Instr.regs_written s.ev.instr);
@@ -428,6 +497,7 @@ let run ?(warm = true) (cfg : Config.t) (trace : Prog.Trace.t) : Stats.t =
   let stop = ref false in
   let do_fetch now =
     if !fetch_idx < n then begin
+      if checks then incr fetch_live;
       let head = slots.(!fetch_idx) in
       if head.fetch_request < 0 then head.fetch_request <- now;
       (* Redirect pending: wait for the mispredicted branch to resolve. *)
@@ -539,6 +609,7 @@ let run ?(warm = true) (cfg : Config.t) (trace : Prog.Trace.t) : Stats.t =
           end
         done;
         if !fetched_any then begin
+          if checks then incr fetch_active;
           pending_stall_i := 0;
           pending_stall_bp := 0
         end
@@ -571,6 +642,30 @@ let run ?(warm = true) (cfg : Config.t) (trace : Prog.Trace.t) : Stats.t =
     do_fetch !now;
     incr now
   done;
+
+  if checks then begin
+    (* End-of-run accounting identities. *)
+    if !committed_total <> n then
+      invariant_fail "committed %d of %d trace events" !committed_total n;
+    if !iq_len <> 0 then
+      invariant_fail "issue queue not drained (%d entries left)" !iq_len;
+    if Hashtbl.length calendar <> 0 then
+      invariant_fail "completion calendar not drained (%d cycles pending)"
+        (Hashtbl.length calendar);
+    if Hashtbl.length producers <> 0 then
+      invariant_fail "producer bookkeeping not drained (%d entries)"
+        (Hashtbl.length producers);
+    if acc_all.count <> !committed_total - !cdp_markers then
+      invariant_fail "stage accounting: %d recorded <> %d committed - %d markers"
+        acc_all.count !committed_total !cdp_markers;
+    (* The Fig. 3 fetch split: StallForI + StallForR/D + Active must
+       cover every cycle the fetch engine was live. *)
+    if !fetch_live <> !fetch_active + !idle_supply + !idle_backpressure then
+      invariant_fail
+        "fetch accounting: %d live cycles <> %d active + %d supply-stall + \
+         %d backpressure-stall"
+        !fetch_live !fetch_active !idle_supply !idle_backpressure
+  end;
 
   {
     Stats.cycles = !now;

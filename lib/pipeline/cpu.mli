@@ -17,9 +17,38 @@
     - body control instructions (the Approach-1 switch branches) execute
       on the branch unit and always break the fetch group. *)
 
-val run : ?warm:bool -> Config.t -> Prog.Trace.t -> Stats.t
+type commit = {
+  commit_seq : int;    (** position in the ROB retirement stream *)
+  commit_cycle : int;  (** cycle the instruction retired *)
+  event : Prog.Trace.event;
+}
+(** One ROB retirement, as observed by [?on_commit].  [Cdp_switch]
+    markers retire at decode and never enter the ROB, so they do not
+    appear in this stream. *)
+
+val run :
+  ?warm:bool ->
+  ?checks:bool ->
+  ?on_commit:(commit -> unit) ->
+  Config.t ->
+  Prog.Trace.t ->
+  Stats.t
 (** Simulate the whole event stream to completion and report statistics.
     [warm] (default true) replays the trace's memory footprint through
     the cache hierarchy first, so measurements reflect steady state
     rather than cold start.  Raises [Failure] if the machine deadlocks
-    (internal invariant violation). *)
+    (internal invariant violation).
+
+    [checks] (default false) enables runtime self-verification:
+    in-order retirement, monotone per-instruction stage timestamps,
+    issue-queue capacity and age ordering, no instruction issuing before
+    all of its renamed producers have completed, and end-of-run
+    accounting identities (every trace event committed; queues and the
+    completion calendar drained; stage counts = committed − CDP markers;
+    fetch-stall split covers every live fetch cycle).  A violation
+    raises [Failure] naming the invariant.  Used by the differential
+    test harness; costs a few percent of runtime.
+
+    [on_commit] observes every ROB retirement in order — the hook the
+    oracle differential harness lines up against the golden model's
+    commit log. *)

@@ -13,6 +13,11 @@ val dataflow_equivalent : Prog.Block.t -> Prog.Block.t -> bool
 (** Compare two versions of a block (marker instructions in either are
     ignored). *)
 
+val block_divergence : Prog.Block.t -> Prog.Block.t -> string option
+(** [None] when {!dataflow_equivalent}; otherwise prose naming the first
+    divergent instruction uid (a lost/gained/re-routed source read, or a
+    changed final register writer). *)
+
 val program_equivalent : Prog.Program.t -> Prog.Program.t -> bool
 (** All blocks pairwise {!dataflow_equivalent}; false when block counts
     differ. *)
@@ -21,5 +26,7 @@ val check_pass :
   (Prog.Program.t -> Prog.Program.t * 'a) ->
   Prog.Program.t ->
   (Prog.Program.t * 'a, string) result
-(** [check_pass pass program] runs the pass and verifies equivalence,
-    returning [Error] naming the first offending block on failure. *)
+(** [check_pass pass program] runs the pass and verifies equivalence.
+    On failure the [Error] names the offending block (id, function and
+    positional index) and the first divergent instruction uid via
+    {!block_divergence}. *)

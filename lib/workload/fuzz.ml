@@ -1,0 +1,218 @@
+(* QCheck program fuzzer: random but well-formed CFGs for the
+   differential oracle.
+
+   The generator works on a small *genome* (plain integers) rather than
+   on Prog values directly, so that shrinking stays structural: QCheck
+   shrinks the genome (fewer blocks, shorter bodies, simpler
+   instructions, fallthrough terminators) and [build] re-derives a legal
+   program from whatever is left.  [build] clamps every cross-block
+   reference modulo the block count and pads empty bodies with a Nop, so
+   *every* genome — including every shrink step — yields a program that
+   [Prog.Program.make] accepts and whose walk terminates. *)
+
+module I = Isa.Instr
+module Op = Isa.Opcode
+module B = Prog.Block
+
+type instr_spec = {
+  op : int;          (* index into [ops] *)
+  dst : int;         (* register 0..12 *)
+  srcs : int list;   (* source registers, 0..12 *)
+  predicated : bool; (* blocks Thumb conversion *)
+  region : int;      (* memory region 0..3 *)
+  stride_ix : int;   (* index into [strides] *)
+  ws_mult : int;     (* working set = stride * (1 + ws_mult) *)
+  random_pct : int;  (* address randomness, percent *)
+}
+
+type term_spec =
+  | T_fall of int
+  | T_jump of int
+  | T_cond of { target : int; other : int; bias_pct : int }
+  | T_call of { callee : int; ret : int }
+  | T_return
+
+type block_spec = { body : instr_spec list; term : term_spec }
+type t = block_spec list
+
+(* Body opcodes: every non-control class (control flow lives in
+   terminators; body control markers are inserted by the passes). *)
+let ops =
+  [| Op.Alu; Op.Alu_shift; Op.Mul; Op.Div; Op.Load; Op.Store;
+     Op.Fp_add; Op.Fp_mul; Op.Fp_div; Op.Nop |]
+
+let strides = [| 4; 8; 16; 64 |]
+
+(* ------------------------------ build ------------------------------ *)
+
+let build (spec : t) : Prog.Program.t =
+  let spec = if spec = [] then [ { body = []; term = T_jump 0 } ] else spec in
+  let n = List.length spec in
+  let clamp b = ((b mod n) + n) mod n in
+  let uid = ref 0 in
+  let fresh () =
+    let u = !uid in
+    incr uid;
+    u
+  in
+  let reg r = Isa.Reg.r (((r mod 13) + 13) mod 13) in
+  let instr (s : instr_spec) =
+    let op = ops.(((s.op mod Array.length ops) + Array.length ops)
+                  mod Array.length ops) in
+    let dst = Some (reg s.dst) in
+    let srcs = List.map reg s.srcs in
+    let cond = if s.predicated then I.Eq else I.Always in
+    match op with
+    | Op.Load | Op.Store ->
+      let stride =
+        strides.(((s.stride_ix mod Array.length strides)
+                  + Array.length strides)
+                 mod Array.length strides)
+      in
+      let mem =
+        {
+          I.region = abs s.region mod 4;
+          stride;
+          working_set = stride * (1 + (abs s.ws_mult mod 64));
+          randomness = float_of_int (abs s.random_pct mod 31) /. 100.;
+        }
+      in
+      I.make ~uid:(fresh ()) ~opcode:op ?dst ~srcs ~cond ~mem ()
+    | Op.Nop -> I.make ~uid:(fresh ()) ~opcode:op ~cond ()
+    | _ -> I.make ~uid:(fresh ()) ~opcode:op ?dst ~srcs ~cond ()
+  in
+  let term = function
+    | T_fall b -> B.Fallthrough (clamp b)
+    | T_jump b -> B.Jump (clamp b)
+    | T_cond { target; other; bias_pct } ->
+      B.Cond_branch
+        {
+          taken = clamp target;
+          not_taken = clamp other;
+          taken_bias = float_of_int (abs bias_pct mod 101) /. 100.;
+        }
+    | T_call { callee; ret } ->
+      B.Call { callee = clamp callee; return_to = clamp ret }
+    | T_return -> B.Return
+  in
+  let blocks =
+    List.mapi
+      (fun id (b : block_spec) ->
+        let body = List.map instr b.body in
+        (* An empty body would let the walk spin without consuming its
+           instruction budget; pad with a Nop. *)
+        let body =
+          if body = [] then [ I.make ~uid:(fresh ()) ~opcode:Op.Nop () ]
+          else body
+        in
+        B.make ~id ~func:0 ~body:(Array.of_list body) ~term:(term b.term))
+      spec
+  in
+  Prog.Program.make ~entry:0 ~blocks
+
+let size (spec : t) =
+  List.fold_left (fun acc b -> acc + max 1 (List.length b.body)) 0 spec
+
+(* --------------------------- generation ---------------------------- *)
+
+let gen_instr : instr_spec QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* op = int_bound (Array.length ops - 1) in
+  let* dst = int_bound 12 in
+  let* srcs = list_size (int_bound 2) (int_bound 12) in
+  let* predicated = frequency [ (4, return false); (1, return true) ] in
+  let* region = int_bound 3 in
+  let* stride_ix = int_bound (Array.length strides - 1) in
+  let* ws_mult = int_bound 63 in
+  let+ random_pct = frequency [ (3, return 0); (1, int_bound 30) ] in
+  { op; dst; srcs; predicated; region; stride_ix; ws_mult; random_pct }
+
+let gen_term nblocks : term_spec QCheck.Gen.t =
+  let open QCheck.Gen in
+  let block = int_bound (max 0 (nblocks - 1)) in
+  frequency
+    [
+      (3, map (fun b -> T_fall b) block);
+      (2, map (fun b -> T_jump b) block);
+      ( 4,
+        let* target = block in
+        let* other = block in
+        let+ bias_pct = int_bound 100 in
+        T_cond { target; other; bias_pct } );
+      ( 2,
+        let* callee = block in
+        let+ ret = block in
+        T_call { callee; ret } );
+      (1, return T_return);
+    ]
+
+let gen : t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* nblocks = int_range 1 8 in
+  let gen_block =
+    let* body = list_size (int_range 0 8) gen_instr in
+    let+ term = gen_term nblocks in
+    { body; term }
+  in
+  list_repeat nblocks gen_block
+
+(* ---------------------------- shrinking ---------------------------- *)
+
+let shrink_instr (s : instr_spec) yield =
+  QCheck.Shrink.list ~shrink:QCheck.Shrink.int s.srcs (fun srcs ->
+      yield { s with srcs });
+  if s.predicated then yield { s with predicated = false };
+  if s.random_pct > 0 then yield { s with random_pct = 0 };
+  if s.ws_mult > 0 then yield { s with ws_mult = 0 };
+  if s.region > 0 then yield { s with region = 0 };
+  if s.op > 0 then yield { s with op = 0 };
+  if s.dst > 0 then yield { s with dst = 0 }
+
+let shrink_term (t : term_spec) yield =
+  match t with T_fall 0 -> () | _ -> yield (T_fall 0)
+
+let shrink_block (b : block_spec) yield =
+  QCheck.Shrink.list ~shrink:shrink_instr b.body (fun body ->
+      yield { b with body });
+  shrink_term b.term (fun term -> yield { b with term })
+
+let shrink : t QCheck.Shrink.t = QCheck.Shrink.list ~shrink:shrink_block
+
+(* ---------------------------- printing ----------------------------- *)
+
+let instr_to_string (s : instr_spec) =
+  Printf.sprintf "%s d%d s[%s]%s%s"
+    (Op.to_string
+       ops.(((s.op mod Array.length ops) + Array.length ops)
+            mod Array.length ops))
+    s.dst
+    (String.concat "," (List.map string_of_int s.srcs))
+    (if s.predicated then " pred" else "")
+    (if s.random_pct > 0 then Printf.sprintf " rnd%d%%" s.random_pct else "")
+
+let term_to_string = function
+  | T_fall b -> Printf.sprintf "fall %d" b
+  | T_jump b -> Printf.sprintf "jump %d" b
+  | T_cond { target; other; bias_pct } ->
+    Printf.sprintf "cond %d/%d @%d%%" target other bias_pct
+  | T_call { callee; ret } -> Printf.sprintf "call %d ret %d" callee ret
+  | T_return -> "return"
+
+let to_string (spec : t) =
+  String.concat "\n"
+    (List.mapi
+       (fun i (b : block_spec) ->
+         Printf.sprintf "block %d: [%s] -> %s" i
+           (String.concat "; " (List.map instr_to_string b.body))
+           (term_to_string b.term))
+       spec)
+
+let arbitrary : t QCheck.arbitrary =
+  QCheck.make ~print:to_string ~shrink gen
+
+(* ------------------------- fixed-seed corpus ----------------------- *)
+
+let spec_of_seed seed : t =
+  QCheck.Gen.generate1 ~rand:(Random.State.make [| 0x0F5A; seed |]) gen
+
+let program_of_seed seed = build (spec_of_seed seed)

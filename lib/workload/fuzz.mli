@@ -1,0 +1,56 @@
+(** QCheck program fuzzer.
+
+    Generates random but well-formed programs — bounded registers
+    (R0–R12), acyclic intra-block dataflow (straight-line bodies reading
+    earlier writers), legal branches (every cross-block reference
+    clamped into range) — as a shrinkable integer {e genome}.  {!build}
+    turns any genome, including every shrink step, into a program that
+    {!Prog.Program.make} accepts and whose {!Prog.Walk} terminates.
+
+    Used by the differential tests to fuzz the transform pipeline and
+    the cycle simulator against the golden model, and by
+    [critics_cli check] for the fixed-seed smoke corpus. *)
+
+type instr_spec = {
+  op : int;          (** index into the body-opcode table *)
+  dst : int;         (** destination register 0..12 *)
+  srcs : int list;   (** source registers 0..12 *)
+  predicated : bool; (** predicated execution (blocks Thumb conversion) *)
+  region : int;      (** memory region 0..3 *)
+  stride_ix : int;   (** index into the stride table *)
+  ws_mult : int;     (** working set = stride × (1 + ws_mult) *)
+  random_pct : int;  (** address randomness, percent *)
+}
+
+type term_spec =
+  | T_fall of int
+  | T_jump of int
+  | T_cond of { target : int; other : int; bias_pct : int }
+  | T_call of { callee : int; ret : int }
+  | T_return
+
+type block_spec = { body : instr_spec list; term : term_spec }
+
+type t = block_spec list
+(** The genome: one spec per block, block ids positional. *)
+
+val build : t -> Prog.Program.t
+(** Realise a genome as a program.  Total: clamps block references
+    modulo the block count, pads empty bodies with a Nop (so walks
+    always consume budget), and maps the empty genome to a minimal
+    one-block program. *)
+
+val size : t -> int
+(** Static instruction count of the built program (body instructions). *)
+
+val gen : t QCheck.Gen.t
+val shrink : t QCheck.Shrink.t
+val to_string : t -> string
+
+val arbitrary : t QCheck.arbitrary
+(** [gen] + [shrink] + printer, ready for [QCheck.Test.make]. *)
+
+val spec_of_seed : int -> t
+(** Deterministic genome from a seed (fixed-seed corpus replay). *)
+
+val program_of_seed : int -> Prog.Program.t

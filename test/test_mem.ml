@@ -179,6 +179,110 @@ let prop_cache_hits_bounded =
       s.C.hits + s.C.misses = s.C.accesses
       && s.C.accesses = List.length addrs)
 
+(* True-LRU reference model.  Each set is an MRU-ordered (tag, dirty)
+   list; [Cache.access_evict] and [Cache.fill] must agree with it on
+   every observable: the hit flag, the evicted line and its dirty bit,
+   residency as seen by [probe] (inclusion of the model in the cache and
+   vice versa), and the writeback count. *)
+let prop_cache_matches_lru_model =
+  let sets = 4 and assoc = 4 and shift = 6 in
+  QCheck.Test.make ~name:"cache matches a true-LRU reference model"
+    ~count:200
+    (* (address, op) with op 0 = demand read, 1 = demand write,
+       2 = prefetch fill; 0x7FF spans 8 tags per set for pressure. *)
+    QCheck.(list_of_size Gen.(int_range 1 400)
+              (pair (int_bound 0x7FF) (int_bound 2)))
+    (fun ops ->
+      let c =
+        C.create ~name:"model" ~size_bytes:(sets * assoc * 64) ~assoc
+          ~line_bytes:64
+      in
+      let model = Array.make sets [] in
+      let model_writebacks = ref 0 in
+      (* Install at MRU; if the set is full the LRU tail is the victim. *)
+      let install set tag dirty =
+        if List.length model.(set) >= assoc then begin
+          let rec split acc = function
+            | [ last ] -> (List.rev acc, last)
+            | x :: tl -> split (x :: acc) tl
+            | [] -> assert false
+          in
+          let keep, ((_, vd) as victim) = split [] model.(set) in
+          if vd then incr model_writebacks;
+          model.(set) <- (tag, dirty) :: keep;
+          Some victim
+        end
+        else begin
+          model.(set) <- (tag, dirty) :: model.(set);
+          None
+        end
+      in
+      let promote set tag extra_dirty =
+        let dirty = ref extra_dirty in
+        let rest =
+          List.filter
+            (fun (t, d) -> if t = tag then (dirty := !dirty || d; false) else true)
+            model.(set)
+        in
+        model.(set) <- (tag, !dirty) :: rest
+      in
+      List.for_all
+        (fun (addr, op) ->
+          let line = addr lsr shift in
+          let set = line mod sets and tag = line / sets in
+          let present = List.mem_assoc tag model.(set) in
+          let step_ok =
+            if op = 2 then begin
+              C.fill c addr;
+              if present then promote set tag false
+              else ignore (install set tag false);
+              true
+            end
+            else begin
+              let write = op = 1 in
+              let hit, victim = C.access_evict ~write c addr in
+              let model_victim =
+                if present then (promote set tag write; None)
+                else install set tag write
+              in
+              hit = present
+              && (match (victim, model_victim) with
+                 | None, None -> true
+                 | Some (va, vd), Some (vt, vd') ->
+                   va = ((vt * sets) + set) lsl shift && vd = vd'
+                 | _ -> false)
+            end
+          in
+          step_ok && C.probe c addr = List.mem_assoc tag model.(set))
+        ops
+      && (C.stats c).C.writebacks = !model_writebacks)
+
+(* An affine address stream trains the stride table in exactly three
+   observations; from the fourth on every observation returns exactly
+   [degree] addresses spaced by the stride, and [issued] accounts for
+   every one of them.  In particular the demand stream itself is
+   untouched: predictions are extrapolations, never substitutions. *)
+let prop_stride_prefetcher_affine =
+  QCheck.Test.make ~name:"affine stream predicted exactly" ~count:200
+    QCheck.(quad (int_bound 0xFFFF)
+              (int_range (-512) 512) (int_range 1 4) (int_range 4 32))
+    (fun (base, stride, degree, n) ->
+      QCheck.assume (stride <> 0);
+      let sp = SP.create ~degree () in
+      let total = ref 0 in
+      let ok = ref true in
+      for k = 0 to n - 1 do
+        let addr = base + (k * stride) in
+        let preds = SP.observe sp ~pc:0x40 ~addr in
+        total := !total + List.length preds;
+        let expect =
+          if k < 3 then []
+          else List.init degree (fun i -> addr + (stride * (i + 1)))
+        in
+        if preds <> expect then ok := false
+      done;
+      !ok && SP.issued sp = !total)
+
 let () =
   Alcotest.run "mem"
     [
@@ -216,5 +320,10 @@ let () =
           Alcotest.test_case "next-line prefetch" `Quick test_next_line_prefetcher;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_cache_hits_bounded ] );
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_cache_hits_bounded;
+            prop_cache_matches_lru_model;
+            prop_stride_prefetcher_affine;
+          ] );
     ]

@@ -227,6 +227,32 @@ let test_profile_with_metric () =
         (Db.coverage db >= 0.0 && Db.coverage db <= 1.0))
     Profiler.Metric.all
 
+(* Db_io must round-trip databases profiled from arbitrary programs,
+   not just the seed apps: every site field, the totals and the
+   interconvertible-length histogram survive [of_string ∘ to_string]. *)
+let prop_db_io_roundtrip =
+  QCheck.Test.make ~name:"db_io round-trips fuzzed profiles" ~count:40
+    QCheck.small_nat
+    (fun seed ->
+      let program = Workload.Fuzz.program_of_seed seed in
+      let path = Prog.Walk.path_for_instrs program ~seed ~instrs:1_000 in
+      let trace = Prog.Trace.expand program ~seed path in
+      let db = Profiler.Profile_run.profile trace in
+      let db' = Profiler.Db_io.of_string (Profiler.Db_io.to_string db) in
+      db.total_work = db'.total_work
+      && List.length db.sites = List.length db'.sites
+      && List.for_all2
+           (fun (a : Db.site) (b : Db.site) ->
+             a.block_id = b.block_id
+             && a.member_indices = b.member_indices
+             && a.uids = b.uids
+             && a.key = b.key
+             && a.convertible = b.convertible
+             && a.occurrences = b.occurrences)
+           db.sites db'.sites
+      && Util.Dist.Histogram.bins db.ic_lengths
+         = Util.Dist.Histogram.bins db'.ic_lengths)
+
 let () =
   Alcotest.run "profiler"
     [
@@ -254,6 +280,7 @@ let () =
           Alcotest.test_case "string roundtrip" `Quick test_db_roundtrip;
           Alcotest.test_case "file roundtrip" `Quick test_db_file_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick test_db_rejects_garbage;
+          QCheck_alcotest.to_alcotest prop_db_io_roundtrip;
         ] );
       ( "metric",
         [
