@@ -14,9 +14,10 @@
    profiling, transformation, analysis). *)
 
 let instrs =
-  match Sys.getenv_opt "CRITICS_BENCH_INSTRS" with
-  | Some s -> int_of_string s
-  | None -> 100_000
+  ref
+    (match Sys.getenv_opt "CRITICS_BENCH_INSTRS" with
+    | Some s -> int_of_string s
+    | None -> 100_000)
 
 (* ------------------------- micro benchmarks ----------------------- *)
 
@@ -27,7 +28,8 @@ let micro () =
   let ctx = Critics.Run.prepare ~instrs:8_000 (app "Acrobat") in
   let spec_ctx = Critics.Run.prepare ~instrs:8_000 (app "lbm") in
   let critic_program = Critics.Run.transformed ctx Critics.Scheme.Critic in
-  let run_cfg cfg trace () = ignore (Pipeline.Cpu.run cfg trace) in
+  let run_cfg cfg src () = ignore (Pipeline.Cpu.run_stream cfg src) in
+  let base_src c = Critics.Run.source c Critics.Scheme.Baseline in
   let tests =
     [
       (* Table I/II: configuration & workload construction *)
@@ -42,23 +44,26 @@ let micro () =
            (run_cfg
               (Pipeline.Config.with_critical_load_prefetch
                  Pipeline.Config.table_i)
-              spec_ctx.trace));
+              (base_src spec_ctx)));
       Test.make ~name:"fig1.prioritize_run"
         (Staged.stage
            (run_cfg
               (Pipeline.Config.with_backend_prio Pipeline.Config.table_i)
-              spec_ctx.trace));
+              (base_src spec_ctx)));
       (* Fig 2/4: list scheduling *)
       Test.make ~name:"fig2.schedule"
         (Staged.stage (fun () ->
              ignore (Experiments.Worked_example.example ())));
       (* Fig 3: baseline simulation with stage accounting *)
       Test.make ~name:"fig3.baseline_run"
-        (Staged.stage (run_cfg Pipeline.Config.table_i ctx.trace));
+        (Staged.stage (run_cfg Pipeline.Config.table_i (base_src ctx)));
       (* Fig 5: offline profiling (DFG + IC enumeration) *)
       Test.make ~name:"fig5.profile"
         (Staged.stage (fun () ->
-             ignore (Profiler.Profile_run.profile ctx.trace)));
+             ignore
+               (Profiler.Profile_run.profile_stream
+                  ~total_events:ctx.event_count
+                  (Critics.Run.stream ctx Critics.Scheme.Baseline))));
       (* Fig 8/10: the compiler pass and transformed-run kernels *)
       Test.make ~name:"fig8.branch_pass"
         (Staged.stage (fun () ->
@@ -76,16 +81,22 @@ let micro () =
       Test.make ~name:"fig10.critic_run"
         (Staged.stage (fun () ->
              ignore
-               (Pipeline.Cpu.run Pipeline.Config.table_i
-                  (Prog.Trace.expand critic_program ~seed:ctx.seed ctx.path))));
+               (Pipeline.Cpu.run_stream Pipeline.Config.table_i (fun () ->
+                    Prog.Trace.Stream.of_program critic_program ~seed:ctx.seed
+                      ctx.path))));
       (* Fig 11: a hardware-variant simulation *)
       Test.make ~name:"fig11.allhw_run"
         (Staged.stage
-           (run_cfg (Pipeline.Config.all_hw Pipeline.Config.table_i) ctx.trace));
+           (run_cfg
+              (Pipeline.Config.all_hw Pipeline.Config.table_i)
+              (base_src ctx)));
       (* Fig 12: partial profiling *)
       Test.make ~name:"fig12.partial_profile"
         (Staged.stage (fun () ->
-             ignore (Profiler.Profile_run.profile ~fraction:0.5 ctx.trace)));
+             ignore
+               (Profiler.Profile_run.profile_stream ~fraction:0.5
+                  ~total_events:ctx.event_count
+                  (Critics.Run.stream ctx Critics.Scheme.Baseline))));
       (* Fig 13: the criticality-agnostic passes *)
       Test.make ~name:"fig13.opp16"
         (Staged.stage (fun () -> ignore (Transform.Thumb.opp16 ctx.program)));
@@ -127,17 +138,45 @@ let micro () =
 
 (* ------------------------- table regeneration --------------------- *)
 
+(* One artifact's measurement: wall clock plus the GC's view of the
+   work — words promoted to the major heap while the artifact ran, and
+   the process-wide heap high-water mark when it finished. *)
+type artifact_timing = {
+  id : string;
+  wall_ms : float;
+  major_words : float;
+  top_heap_words : int;
+}
+
+let git_describe () =
+  try
+    let ic =
+      Unix.open_process_in "git describe --always --dirty 2>/dev/null"
+    in
+    let line = try input_line ic with End_of_file -> "" in
+    (match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown")
+  with _ -> "unknown"
+
 let json_results ~jobs ~total_ms timings =
+  let gc = Gc.quick_stat () in
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"git\": %S,\n" (git_describe ()));
   Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" jobs);
-  Buffer.add_string b (Printf.sprintf "  \"instrs\": %d,\n" instrs);
+  Buffer.add_string b (Printf.sprintf "  \"instrs\": %d,\n" !instrs);
   Buffer.add_string b (Printf.sprintf "  \"total_ms\": %.1f,\n" total_ms);
+  Buffer.add_string b
+    (Printf.sprintf "  \"top_heap_words\": %d,\n" gc.Gc.top_heap_words);
   Buffer.add_string b "  \"artifacts\": [\n";
   List.iteri
-    (fun i (id, ms) ->
+    (fun i t ->
       Buffer.add_string b
-        (Printf.sprintf "    { \"id\": %S, \"wall_ms\": %.1f }%s\n" id ms
+        (Printf.sprintf
+           "    { \"id\": %S, \"wall_ms\": %.1f, \"major_words\": %.0f, \
+            \"top_heap_words\": %d }%s\n"
+           t.id t.wall_ms t.major_words t.top_heap_words
            (if i = List.length timings - 1 then "" else ",")))
     timings;
   Buffer.add_string b "  ]\n}\n";
@@ -148,13 +187,23 @@ let tables ~jobs () =
     "CritICs reproduction — regenerating every table and figure\n\
      (%d work instructions per app run; see EXPERIMENTS.md for the\n\
      paper-vs-measured discussion)\n"
-    instrs;
-  let h = Experiments.Harness.create ~instrs ~jobs () in
+    !instrs;
+  let h = Experiments.Harness.create ~instrs:!instrs ~jobs () in
   let timings = ref [] in
   let time id f =
+    let g0 = Gc.quick_stat () in
     let t0 = Unix.gettimeofday () in
     let r = f () in
-    timings := (id, 1000.0 *. (Unix.gettimeofday () -. t0)) :: !timings;
+    let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+    let g1 = Gc.quick_stat () in
+    timings :=
+      {
+        id;
+        wall_ms;
+        major_words = g1.Gc.major_words -. g0.Gc.major_words;
+        top_heap_words = g1.Gc.top_heap_words;
+      }
+      :: !timings;
     r
   in
   let t_start = Unix.gettimeofday () in
@@ -176,22 +225,52 @@ let tables ~jobs () =
   Printf.eprintf "[bench] jobs=%d total=%.1fs — timings in BENCH_results.json\n"
     jobs (total_ms /. 1000.0)
 
+let usage () =
+  prerr_endline
+    "usage: bench [--micro] [--jobs N] [--instrs N]\n\n\
+     Regenerates every table and figure (default) or runs the Bechamel\n\
+     micro-benchmarks (--micro).\n\n\
+    \  --jobs N    domain-pool width (default: recommended domain count,\n\
+    \              or CRITICS_JOBS)\n\
+    \  --instrs N  dynamic work instructions per app run (default: 100000,\n\
+    \              or CRITICS_BENCH_INSTRS)";
+  exit 2
+
 let () =
-  let rec parse args (micro_mode, jobs) =
-    match args with
-    | [] -> (micro_mode, jobs)
-    | "--micro" :: rest -> parse rest (true, jobs)
+  let bad what v =
+    Printf.eprintf "bench: bad %s value %S\n\n" what v;
+    usage ()
+  in
+  let micro_mode = ref false in
+  let jobs = ref (Parallel.default_jobs ()) in
+  let set_int name r v =
+    match int_of_string_opt v with
+    | Some x when x >= 1 -> r := x
+    | _ -> bad name v
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--micro" :: rest ->
+      micro_mode := true;
+      parse rest
     | "--jobs" :: n :: rest ->
-      (match int_of_string_opt n with
-      | Some j when j >= 1 -> parse rest (micro_mode, j)
-      | _ -> failwith ("bad --jobs value " ^ n))
-    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
-      (match int_of_string_opt (String.sub arg 7 (String.length arg - 7)) with
-      | Some j when j >= 1 -> parse rest (micro_mode, j)
-      | _ -> failwith ("bad --jobs value " ^ arg))
-    | arg :: _ -> failwith ("unknown argument " ^ arg)
+      set_int "--jobs" jobs n;
+      parse rest
+    | "--instrs" :: n :: rest ->
+      set_int "--instrs" instrs n;
+      parse rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | arg :: rest
+      when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
+      set_int "--jobs" jobs (String.sub arg 7 (String.length arg - 7));
+      parse rest
+    | arg :: rest
+      when String.length arg > 9 && String.sub arg 0 9 = "--instrs=" ->
+      set_int "--instrs" instrs (String.sub arg 9 (String.length arg - 9));
+      parse rest
+    | arg :: _ ->
+      Printf.eprintf "bench: unknown argument %S\n\n" arg;
+      usage ()
   in
-  let micro_mode, jobs =
-    parse (List.tl (Array.to_list Sys.argv)) (false, Parallel.default_jobs ())
-  in
-  if micro_mode then micro () else tables ~jobs ()
+  parse (List.tl (Array.to_list Sys.argv));
+  if !micro_mode then micro () else tables ~jobs:!jobs ()

@@ -38,12 +38,14 @@ let () =
     report.sites_applied report.instrs_converted report.cdp_inserted;
 
   let base =
-    Critics.Pipeline.Cpu.run Critics.Pipeline.Config.table_i device_ctx.trace
+    Critics.Pipeline.Cpu.run_stream Critics.Pipeline.Config.table_i
+      (Critics.Run.source device_ctx Critics.Scheme.Baseline)
   in
   let critic =
-    Critics.Pipeline.Cpu.run Critics.Pipeline.Config.table_i
-      (Critics.Prog.Trace.expand program' ~seed:device_ctx.seed
-         device_ctx.path)
+    Critics.Pipeline.Cpu.run_stream Critics.Pipeline.Config.table_i
+      (fun () ->
+        Critics.Prog.Trace.Stream.of_program program' ~seed:device_ctx.seed
+          device_ctx.path)
   in
   Printf.printf "device: %s speedup on an unprofiled execution sample\n"
     (Critics.Util.Stats.pct (Critics.Run.speedup ~base critic));

@@ -53,8 +53,12 @@ let predict_and_update t ~pc ~taken =
       let idx = ((pc lsr 2) lxor m.history) land m.mask in
       let predicted = m.counters.(idx) >= 2 in
       let c = m.counters.(idx) in
+      (* int-specialized saturation: this runs once per conditional
+         branch, and polymorphic min/max go through compare_val *)
       m.counters.(idx) <-
-        (if taken then min 3 (c + 1) else max 0 (c - 1));
+        (if taken then if c >= 3 then 3 else c + 1
+         else if c <= 0 then 0
+         else c - 1);
       m.history <-
         ((m.history lsl 1) lor (if taken then 1 else 0)) land m.history_mask;
       predicted

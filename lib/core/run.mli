@@ -2,23 +2,28 @@
 
     An {!app_context} packages everything derived once per application:
     the generated program, the control-flow path (fixed across schemes,
-    so every scheme replays identical work), the baseline trace and the
-    CritIC database.  {!stats} then evaluates any scheme on any machine
-    configuration. *)
+    so every scheme replays identical work) and the CritIC database.
+    Traces are never materialized on this path — profiling and
+    simulation both pull the event stream ({!Prog.Trace.Stream}) and run
+    in O(window) memory, so the instruction budget can grow without the
+    context's footprint following it.  {!stats} evaluates any scheme on
+    any machine configuration. *)
 
-type trace_cache
-(** One-entry memo of the last non-baseline expanded trace (see
-    {!trace_of}); mutex-protected so contexts can be shared across
-    domains by the parallel experiment harness. *)
+type scheme_cache
+(** Small bounded LRU of transformed programs, sized for the hot access
+    pattern — one scheme re-simulated across machine configurations,
+    interleaved with the (uncached) baseline; mutex-protected so
+    contexts can be shared across domains by the parallel experiment
+    harness. *)
 
 type app_context = {
   profile : Workload.Profile.t;
   program : Prog.Program.t;
   seed : int;
   path : Prog.Walk.path;
-  trace : Prog.Trace.t;          (** baseline trace *)
+  event_count : int;      (** events the baseline stream yields *)
   db : Profiler.Critic_db.t;
-  trace_cache : trace_cache;
+  scheme_cache : scheme_cache;
 }
 
 val default_instrs : int
@@ -34,23 +39,37 @@ val prepare :
   ?profile_fraction:float ->
   Workload.Profile.t ->
   app_context
-(** Generate, walk, expand and profile one application.  [sample]
-    (default 0) selects one of the independent execution samples of the
-    same program — the equivalent of the paper's 100 random samples per
-    app: different control-flow walk, same code. *)
+(** Generate, walk and profile one application.  [sample] (default 0)
+    selects one of the independent execution samples of the same
+    program — the equivalent of the paper's 100 random samples per app:
+    different control-flow walk, same code. *)
 
 val transformed : app_context -> Scheme.t -> Prog.Program.t
-(** The program a scheme's compiler pipeline produces. *)
+(** The program a scheme's compiler pipeline produces.  Memoized per
+    context: repeated requests for the same scheme — e.g. under several
+    machine configurations, or from concurrent harness jobs — run the
+    compiler pipeline once (see {!transform_count}). *)
+
+val transform_count : app_context -> int
+(** Number of compiler-pipeline executions this context has performed —
+    the cache-effectiveness observable used by the regression tests. *)
+
+val stream : app_context -> Scheme.t -> Prog.Trace.Stream.cursor
+(** A fresh cursor over the scheme's event stream — the scheme's
+    program expanded lazily over the *same* block path. *)
+
+val source : app_context -> Scheme.t -> Pipeline.Cpu.source
+(** The replayable form of {!stream}, as the simulator consumes it. *)
 
 val trace_of : app_context -> Scheme.t -> Prog.Trace.t
-(** The scheme's program expanded over the *same* block path.  The most
-    recently expanded non-baseline trace is cached per context (the
-    expansion is deterministic, so repeated requests — e.g. the same
-    scheme under several machine configurations — reuse it). *)
+(** Materialize the scheme's event stream into an array — the adapter
+    for consumers that genuinely need random access (whole-trace DFGs,
+    characterization).  O(trace) memory and uncached: transient use
+    only. *)
 
 val stats :
   ?config:Pipeline.Config.t -> app_context -> Scheme.t -> Pipeline.Stats.t
-(** Simulate a scheme (default machine: Table I). *)
+(** Simulate a scheme (default machine: Table I), streaming. *)
 
 val speedup : base:Pipeline.Stats.t -> Pipeline.Stats.t -> float
 (** Fractional cycle-count improvement over [base] for the same work. *)

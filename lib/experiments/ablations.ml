@@ -87,8 +87,8 @@ let run ?apps h =
       fst (Transform.Critic_pass.apply db ctx.Critics.Run.program)
     in
     let st =
-      Pipeline.Cpu.run Pipeline.Config.table_i
-        (Prog.Trace.expand program ~seed:ctx.seed ctx.path)
+      Pipeline.Cpu.run_stream Pipeline.Config.table_i (fun () ->
+          Prog.Trace.Stream.of_program program ~seed:ctx.seed ctx.path)
     in
     Critics.Run.speedup ~base st
   in
@@ -97,12 +97,16 @@ let run ?apps h =
       (fun t -> Printf.sprintf "threshold %.0f" t)
       (fun t ->
         critic_speedup_with_db (fun ctx ->
-            Profiler.Profile_run.profile ~threshold:t ctx.Critics.Run.trace))
+            Profiler.Profile_run.profile_stream ~threshold:t
+              ~total_events:ctx.Critics.Run.event_count
+              (Critics.Run.stream ctx Critics.Scheme.Baseline)))
   in
   let metric =
     sweep Profiler.Metric.all Profiler.Metric.name (fun m ->
         critic_speedup_with_db (fun ctx ->
-            Profiler.Profile_run.profile ~metric:m ctx.Critics.Run.trace))
+            Profiler.Profile_run.profile_stream ~metric:m
+              ~total_events:ctx.Critics.Run.event_count
+              (Critics.Run.stream ctx Critics.Scheme.Baseline)))
   in
   let cdp_penalty =
     List.map

@@ -14,7 +14,9 @@ type result = row list
    where they typically miss; we classify by opcode latency class,
    which the paper's Fig. 3c also does). *)
 let long_latency_fraction ctx =
-  let trace = ctx.Critics.Run.trace in
+  (* The figure classifies events by whole-trace fanout, which needs
+     random access — materialize transiently, scoped to this figure. *)
+  let trace = Critics.Run.trace_of ctx Critics.Scheme.Baseline in
   let dfg = Dfg.of_events trace in
   let critical = ref 0 and long = ref 0 in
   Array.iteri

@@ -34,8 +34,10 @@ let run ?(window = 2048) h =
   (* Large-window profiles are computed separately from the harness's
      compiler-oriented databases: the figure is about raw IC shapes. *)
   let wide_db app =
-    Profiler.Profile_run.profile ~window
-      (Harness.context h app).Critics.Run.trace
+    let ctx = Harness.context h app in
+    Profiler.Profile_run.profile_stream ~window
+      ~total_events:ctx.Critics.Run.event_count
+      (Critics.Run.stream ctx Critics.Scheme.Baseline)
   in
   let dbs =
     (* One wide-window profile per app, fanned out over the harness

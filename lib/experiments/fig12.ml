@@ -14,8 +14,8 @@ let apply_critic ?(max_len = 5) ctx db =
   fst (Transform.Critic_pass.apply ~options db ctx.Critics.Run.program)
 
 let run_transformed (ctx : Critics.Run.app_context) program =
-  Pipeline.Cpu.run Pipeline.Config.table_i
-    (Prog.Trace.expand program ~seed:ctx.seed ctx.path)
+  Pipeline.Cpu.run_stream Pipeline.Config.table_i (fun () ->
+      Prog.Trace.Stream.of_program program ~seed:ctx.seed ctx.path)
 
 (* Split [xs] into consecutive groups of [k]. *)
 let rec groups_of k xs =
@@ -80,7 +80,9 @@ let run h =
            let ctx = Harness.context h app in
            let base = Harness.stats h app Critics.Scheme.Baseline in
            let db =
-             Profiler.Profile_run.profile ~fraction ctx.Critics.Run.trace
+             Profiler.Profile_run.profile_stream ~fraction
+               ~total_events:ctx.Critics.Run.event_count
+               (Critics.Run.stream ctx Critics.Scheme.Baseline)
            in
            let st = run_transformed ctx (apply_critic ctx db) in
            Critics.Run.speedup ~base st))

@@ -66,10 +66,12 @@ let set_and_tag t addr =
   let line = addr lsr t.line_shift in
   (line mod t.sets, line / t.sets)
 
+(* -1 when the tag is not present: called once per access, so it avoids
+   allocating an option on every cache hit. *)
 let find_way t set tag =
   let ways = t.tags.(set) in
   let rec go i =
-    if i >= t.assoc then None else if ways.(i) = tag then Some i else go (i + 1)
+    if i >= t.assoc then -1 else if ways.(i) = tag then i else go (i + 1)
   in
   go 0
 
@@ -106,35 +108,40 @@ let install t set tag =
   (way, victim)
 
 let access_evict ?(write = false) t addr =
-  let set, tag = set_and_tag t addr in
+  (* set_and_tag, open-coded to skip the per-access pair allocation *)
+  let line = addr lsr t.line_shift in
+  let set = line mod t.sets and tag = line / t.sets in
   t.accesses <- t.accesses + 1;
-  match find_way t set tag with
-  | Some way ->
+  let way = find_way t set tag in
+  if way >= 0 then begin
     t.hits <- t.hits + 1;
     touch t set way;
     if write then t.dirty.(set).(way) <- true;
     (true, None)
-  | None ->
+  end
+  else begin
     t.misses <- t.misses + 1;
     t.fills <- t.fills + 1;
     let way, victim = install t set tag in
     if write then t.dirty.(set).(way) <- true;
     (false, victim)
+  end
 
 let access ?write t addr = fst (access_evict ?write t addr)
 
 let probe t addr =
   let set, tag = set_and_tag t addr in
-  find_way t set tag <> None
+  find_way t set tag >= 0
 
 let fill t addr =
   let set, tag = set_and_tag t addr in
-  match find_way t set tag with
-  | Some way -> touch t set way
-  | None ->
+  let way = find_way t set tag in
+  if way >= 0 then touch t set way
+  else begin
     t.fills <- t.fills + 1;
     t.prefetch_fills <- t.prefetch_fills + 1;
     ignore (install t set tag)
+  end
 
 let invalidate_all t =
   Array.iter (fun ways -> Array.fill ways 0 t.assoc (-1)) t.tags;

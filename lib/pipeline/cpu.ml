@@ -4,9 +4,21 @@ type commit = {
   event : Prog.Trace.event;
 }
 
+(* A slot is the simulator's in-flight record for one dynamic
+   instruction.  Slots live in a fixed ring sized by the in-flight
+   window of the modeled core (fetch queue + decode queue + ROB): a
+   record is (re)initialized when the fetch engine first reaches its
+   event and recycled — in place, keeping its grown [dependents]
+   array — once a younger instruction wraps around the ring, which can
+   only happen after the occupant has retired.  [idx] is the global
+   stream position and doubles as the recycling stamp: any stashed
+   reference (rename table, checks bookkeeping) compares its recorded
+   idx against the record's current one to detect that the slot has
+   moved on, which implies the referenced instruction already
+   retired. *)
 type slot = {
-  idx : int;                   (* position in the slot array *)
-  ev : Prog.Trace.event;
+  mutable idx : int;           (* global position in the event stream *)
+  mutable ev : Prog.Trace.event;
   mutable fetch_request : int; (* cycle the fetch engine first reached it *)
   mutable stall_i : int;       (* supply-side stall cycles while fetch head *)
   mutable stall_bp : int;      (* backpressure stall cycles while fetch head *)
@@ -18,11 +30,26 @@ type slot = {
   mutable committed : int;
   mutable waiting_on : int;    (* unresolved producers *)
   mutable ready_time : int;    (* earliest issue cycle *)
-  mutable dependents : int array; (* slot indices; grown geometrically *)
+  mutable dependents : int array; (* global stream indices; grown geometrically *)
   mutable ndeps : int;
   mutable fanout : int;        (* consumers renamed before our commit *)
   mutable in_iq : bool;
 }
+
+type source = unit -> Prog.Trace.Stream.cursor
+
+(* Int-specialized max: the stage accounting below takes several per
+   retirement, and the polymorphic Stdlib.max goes through compare_val. *)
+let[@inline] imax (a : int) b = if a >= b then a else b
+
+(* Completion calendar keys are cycle numbers; a direct int hash avoids
+   the generic caml_hash C call once per simulated cycle. *)
+module Int_tbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal (a : int) b = a = b
+  let hash (x : int) = x land max_int
+end)
 
 type acc = {
   mutable count : int;
@@ -59,32 +86,67 @@ let acc_to_summary a : Stats.stage_summary =
     commit_wait = a.commit_wait;
   }
 
-let run ?(warm = true) ?(checks = false) ?on_commit (cfg : Config.t)
-    (trace : Prog.Trace.t) : Stats.t =
-  let n = Array.length trace in
-  let slots =
-    Array.mapi
-      (fun idx ev ->
-        {
-          idx;
-          ev;
-          fetch_request = -1;
-          stall_i = 0;
-          stall_bp = 0;
-          fetched = -1;
-          decoded = -1;
-          renamed = -1;
-          issued = -1;
-          completed = -1;
-          committed = -1;
-          waiting_on = 0;
-          ready_time = 0;
-          dependents = [||];
-          ndeps = 0;
-          fanout = 0;
-          in_iq = false;
-        })
-      trace
+let dummy_event : Prog.Trace.event =
+  {
+    seq = -1;
+    pc = 0;
+    size = 4;
+    instr = Isa.Instr.make ~uid:(-1) ~opcode:Isa.Opcode.Nop ();
+    block_id = -1;
+    body_index = -1;
+    func = -1;
+    mem_addr = -1;
+    is_cond_branch = false;
+    taken = false;
+    next_pc = 0;
+    fetch_break = false;
+  }
+
+let run_stream ?(warm = true) ?(checks = false) ?on_commit (cfg : Config.t)
+    (source : source) : Stats.t =
+  let fresh_slot () =
+    {
+      idx = -1;
+      ev = dummy_event;
+      fetch_request = -1;
+      stall_i = 0;
+      stall_bp = 0;
+      fetched = -1;
+      decoded = -1;
+      renamed = -1;
+      issued = -1;
+      completed = -1;
+      committed = -1;
+      waiting_on = 0;
+      ready_time = 0;
+      dependents = [||];
+      ndeps = 0;
+      fanout = 0;
+      in_iq = false;
+    }
+  in
+  (* Ring capacity: every in-flight slot sits in the fetch queue, the
+     decode queue or the ROB, plus the one not-yet-fetched head the
+     fetch engine is staring at — so the live *population* is bounded by
+     the machine window.  The live index *span* can exceed it: CDP
+     markers retire at decode and vacate their slots early, so in
+     marker-dense code the distance from oldest live slot to newest pull
+     outgrows the population.  When a pull would land on a still-live
+     record the ring doubles; the records kept are a contiguous index
+     range shorter than the old capacity, so re-placing each at
+     [idx mod ncap] never collides.  Capacity converges to the maximal
+     span — a machine property, independent of stream length. *)
+  let cap = ref (cfg.fetch_queue + cfg.decode_queue + cfg.rob + 8) in
+  let ring = ref (Array.init !cap (fun _ -> fresh_slot ())) in
+  let slot_at idx = !ring.(idx mod !cap) in
+  let grow_ring () =
+    let ncap = 2 * !cap in
+    let nring = Array.init ncap (fun _ -> fresh_slot ()) in
+    Array.iter
+      (fun s -> if s.idx >= 0 then nring.(s.idx mod ncap) <- s)
+      !ring;
+    ring := nring;
+    cap := ncap
   in
   let hier = Mem.Hierarchy.create cfg.mem in
   (* Warm the memory hierarchy to steady state: replay the trace's
@@ -92,21 +154,76 @@ let run ?(warm = true) ?(checks = false) ?on_commit (cfg : Config.t)
      paper samples minutes-old executions, so cold-start misses are not
      part of what any configuration should be charged for. *)
   if warm then
-    Array.iter
+    Prog.Trace.Stream.iter
       (fun (e : Prog.Trace.event) ->
         Mem.Hierarchy.touch_i hier e.pc;
         if e.mem_addr >= 0 then Mem.Hierarchy.touch_d hier e.mem_addr)
-      trace;
+      (source ());
+  let cursor = source () in
   let bpu = Bpu.Predictor.create cfg.bpu in
   let crit_table =
     Criticality_table.create ~threshold:cfg.fanout_critical_threshold ()
   in
   let efetch = Efetch.create () in
 
+  let invariant_fail fmt =
+    Printf.ksprintf
+      (fun msg -> failwith ("Cpu.run invariant violated: " ^ msg))
+      fmt
+  in
+
   (* Queues between stages. *)
   let fetch_q : slot Queue.t = Queue.create () in
   let decode_q : slot Queue.t = Queue.create () in
   let rob : slot Queue.t = Queue.create () in
+
+  (* Stream head: the next not-yet-fetched instruction, materialized
+     into its ring slot the moment the fetch engine first needs it. *)
+  let pulled = ref 0 in
+  let head : slot option ref = ref None in
+  let exhausted = ref false in
+  let peek_head () =
+    match !head with
+    | Some _ as h -> h
+    | None ->
+      if !exhausted then None
+      else begin
+        match Prog.Trace.Stream.next cursor with
+        | None ->
+          exhausted := true;
+          None
+        | Some ev ->
+          let idx = !pulled in
+          while
+            (let s = slot_at idx in
+             s.idx >= 0 && s.committed < 0)
+          do
+            grow_ring ()
+          done;
+          let s = slot_at idx in
+          s.idx <- idx;
+          s.ev <- ev;
+          s.fetch_request <- -1;
+          s.stall_i <- 0;
+          s.stall_bp <- 0;
+          s.fetched <- -1;
+          s.decoded <- -1;
+          s.renamed <- -1;
+          s.issued <- -1;
+          s.completed <- -1;
+          s.committed <- -1;
+          s.waiting_on <- 0;
+          s.ready_time <- 0;
+          s.ndeps <- 0;
+          s.fanout <- 0;
+          s.in_iq <- false;
+          incr pulled;
+          head := Some s;
+          Some s
+      end
+  in
+  let advance_head () = head := None in
+
   (* Issue queue: a flat array in insertion (age) order.  Capacity is
      bounded by cfg.iq (rename stops at that size), so one allocation
      serves the whole run; the backing array is created on first insert
@@ -119,8 +236,9 @@ let run ?(warm = true) ?(checks = false) ?on_commit (cfg : Config.t)
     !iq_arr.(!iq_len) <- s;
     incr iq_len
   in
-  (* Dependent edges are stored as indices into [slots] in growable int
-     arrays — no list cons per wake-up edge. *)
+  (* Dependent edges are stored as global stream indices in growable int
+     arrays — no list cons per wake-up edge.  The arrays survive slot
+     recycling (only [ndeps] resets), so their footprint is O(window). *)
   let add_dependent producer (s : slot) =
     let nd = producer.ndeps in
     let cap = Array.length producer.dependents in
@@ -134,18 +252,22 @@ let run ?(warm = true) ?(checks = false) ?on_commit (cfg : Config.t)
   in
 
   (* Completion calendar: cycle -> slots finishing then. *)
-  let calendar : (int, slot list) Hashtbl.t = Hashtbl.create 1024 in
+  let calendar : slot list Int_tbl.t = Int_tbl.create 1024 in
   let schedule_completion s cycle =
     s.completed <- cycle;
-    let prev = Option.value ~default:[] (Hashtbl.find_opt calendar cycle) in
-    Hashtbl.replace calendar cycle (s :: prev)
+    let prev = Option.value ~default:[] (Int_tbl.find_opt calendar cycle) in
+    Int_tbl.replace calendar cycle (s :: prev)
   in
 
-  (* Register rename: last in-flight (or most recent) writer per reg. *)
+  (* Register rename: last in-flight (or most recent) writer per reg.
+     [rename_stamp] records the writer's stream index at write time; a
+     mismatch against the record's current [idx] means the slot was
+     recycled, which implies the original writer retired long ago — a
+     case whose every effect below is a no-op anyway. *)
   let rename_table : slot option array = Array.make Isa.Reg.count None in
+  let rename_stamp : int array = Array.make Isa.Reg.count (-1) in
 
   (* Fetch engine state. *)
-  let fetch_idx = ref 0 in
   let fetch_resume_at = ref 0 in
   let cur_line = ref (-1) in
   let pending_mispredict : slot option ref = ref None in
@@ -170,18 +292,15 @@ let run ?(warm = true) ?(checks = false) ?on_commit (cfg : Config.t)
   let cdp_markers = ref 0 in
   let critical_count = ref 0 in
   let commit_seq = ref 0 in
-  (* Invariant-check bookkeeping (tiny when checks are off). *)
+  (* Invariant-check bookkeeping (tiny when checks are off).  Producers
+     are remembered as (slot, stream idx) pairs so the check survives
+     the producer retiring and its record being recycled. *)
   let last_committed_idx = ref (-1) in
-  let producers : (int, slot list) Hashtbl.t =
+  let producers : (int, (slot * int) list) Hashtbl.t =
     Hashtbl.create (if checks then 1024 else 1)
   in
   let fetch_live = ref 0 in
   let fetch_active = ref 0 in
-  let invariant_fail fmt =
-    Printf.ksprintf
-      (fun msg -> failwith ("Cpu.run invariant violated: " ^ msg))
-      fmt
-  in
   let acc_all = new_acc () in
   let acc_crit = new_acc () in
   let acc_chain = new_acc () in
@@ -194,12 +313,13 @@ let run ?(warm = true) ?(checks = false) ?on_commit (cfg : Config.t)
   let record acc (s : slot) =
     acc.count <- acc.count + 1;
     acc.fetch_i <- acc.fetch_i + s.stall_i;
-    acc.fetch_rd <- acc.fetch_rd + s.stall_bp + max 0 (s.decoded - s.fetched - 1);
-    acc.decode <- acc.decode + max 0 (s.renamed - s.decoded);
+    acc.fetch_rd <-
+      acc.fetch_rd + s.stall_bp + imax 0 (s.decoded - s.fetched - 1);
+    acc.decode <- acc.decode + imax 0 (s.renamed - s.decoded);
     acc.rename <- acc.rename + 1;
-    acc.issue_wait <- acc.issue_wait + max 0 (s.issued - s.renamed - 1);
-    acc.execute <- acc.execute + max 0 (s.completed - s.issued);
-    acc.commit_wait <- acc.commit_wait + max 0 (s.committed - s.completed)
+    acc.issue_wait <- acc.issue_wait + imax 0 (s.issued - s.renamed - 1);
+    acc.execute <- acc.execute + imax 0 (s.completed - s.issued);
+    acc.commit_wait <- acc.commit_wait + imax 0 (s.committed - s.completed)
   in
 
   let retire now (s : slot) =
@@ -264,19 +384,22 @@ let run ?(warm = true) ?(checks = false) ?on_commit (cfg : Config.t)
   in
 
   let do_completions now =
-    match Hashtbl.find_opt calendar now with
+    match Int_tbl.find_opt calendar now with
     | None -> ()
     | Some finished ->
-      Hashtbl.remove calendar now;
+      Int_tbl.remove calendar now;
       List.iter
         (fun s ->
           let deps = s.dependents in
           for k = 0 to s.ndeps - 1 do
-            let dep = slots.(deps.(k)) in
+            let dep = slot_at deps.(k) in
+            if checks && dep.idx <> deps.(k) then
+              invariant_fail
+                "dependent slot %d recycled while producer %d in flight"
+                deps.(k) s.idx;
             dep.waiting_on <- dep.waiting_on - 1;
             if dep.ready_time < now then dep.ready_time <- now
           done;
-          s.dependents <- [||];
           s.ndeps <- 0)
         finished
   in
@@ -312,12 +435,15 @@ let run ?(warm = true) ?(checks = false) ?on_commit (cfg : Config.t)
       | None -> ()
       | Some ps ->
         List.iter
-          (fun (p : slot) ->
-            if p.completed < 0 || p.completed > now then
+          (fun ((p : slot), pidx) ->
+            (* A recycled record means the producer retired — and hence
+               completed — before this issue; only live records carry
+               timestamps worth checking. *)
+            if p.idx = pidx && (p.completed < 0 || p.completed > now) then
               invariant_fail
                 "slot %d (uid %d) issued at cycle %d before producer slot %d \
-                 (uid %d) completed"
-                s.idx s.ev.instr.uid now p.idx p.ev.instr.uid)
+                 completed"
+                s.idx s.ev.instr.uid now pidx)
           ps;
         Hashtbl.remove producers s.idx
     end;
@@ -419,8 +545,10 @@ let run ?(warm = true) ?(checks = false) ?on_commit (cfg : Config.t)
         let seen = ref [] in
         List.iter
           (fun r ->
-            match rename_table.(Isa.Reg.index r) with
-            | Some producer when producer != s ->
+            let ri = Isa.Reg.index r in
+            match rename_table.(ri) with
+            | Some producer
+              when producer.idx = rename_stamp.(ri) && producer != s ->
               if not (List.memq producer !seen) then begin
                 seen := producer :: !seen;
                 if producer.committed < 0 then
@@ -435,11 +563,20 @@ let run ?(warm = true) ?(checks = false) ?on_commit (cfg : Config.t)
                     s.ready_time <- producer.completed
                 end
               end
-            | _ -> ())
+            | _ ->
+              (* No writer yet, or a stamp mismatch: the record was
+                 recycled, so the original writer retired — for which
+                 every branch above is a no-op. *)
+              ())
           (Isa.Instr.regs_read s.ev.instr);
-        if checks && !seen <> [] then Hashtbl.replace producers s.idx !seen;
+        if checks && !seen <> [] then
+          Hashtbl.replace producers s.idx
+            (List.map (fun (p : slot) -> (p, p.idx)) !seen);
         List.iter
-          (fun r -> rename_table.(Isa.Reg.index r) <- Some s)
+          (fun r ->
+            let ri = Isa.Reg.index r in
+            rename_table.(ri) <- Some s;
+            rename_stamp.(ri) <- s.idx)
           (Isa.Instr.regs_written s.ev.instr);
         Queue.add s rob;
         iq_push s;
@@ -496,10 +633,11 @@ let run ?(warm = true) ?(checks = false) ?on_commit (cfg : Config.t)
   let blocked_bp = ref false in
   let stop = ref false in
   let do_fetch now =
-    if !fetch_idx < n then begin
+    match peek_head () with
+    | None -> ()
+    | Some first ->
       if checks then incr fetch_live;
-      let head = slots.(!fetch_idx) in
-      if head.fetch_request < 0 then head.fetch_request <- now;
+      if first.fetch_request < 0 then first.fetch_request <- now;
       (* Redirect pending: wait for the mispredicted branch to resolve. *)
       let blocked_redirect =
         match !pending_mispredict with
@@ -524,7 +662,10 @@ let run ?(warm = true) ?(checks = false) ?on_commit (cfg : Config.t)
           match !pending_mispredict with
           | Some b ->
             let line = cfg.mem.line_bytes in
-            let ahead = min 8 (max 0 (now - b.fetched)) in
+            let ahead =
+              let d = now - b.fetched in
+              if d <= 0 then 0 else if d >= 8 then 8 else d
+            in
             let wrong_pc = b.ev.pc + b.ev.size + (line * ahead) in
             ignore (Mem.Hierarchy.ifetch hier ~now wrong_pc)
           | None -> ()
@@ -539,9 +680,9 @@ let run ?(warm = true) ?(checks = false) ?on_commit (cfg : Config.t)
         blocked_bp := false;
         stop := false;
         while not !stop do
-          if !fetch_idx >= n then stop := true
-          else begin
-            let s = slots.(!fetch_idx) in
+          match peek_head () with
+          | None -> stop := true
+          | Some s ->
             if s.fetch_request < 0 then s.fetch_request <- now;
             if Queue.length fetch_q >= cfg.fetch_queue then begin
               blocked_bp := true;
@@ -570,7 +711,7 @@ let run ?(warm = true) ?(checks = false) ?on_commit (cfg : Config.t)
                   s.stall_bp <- s.stall_bp + !pending_stall_bp;
                   Queue.add s fetch_q;
                   fetched_any := true;
-                  incr fetch_idx;
+                  advance_head ();
                   (* Optimization hooks that observe the fetch stream. *)
                   (match s.ev.instr.opcode with
                   | Isa.Opcode.Call when cfg.efetch ->
@@ -597,16 +738,10 @@ let run ?(warm = true) ?(checks = false) ?on_commit (cfg : Config.t)
                     end
                     else if s.ev.taken then stop := true
                   end
-                  else if s.ev.fetch_break then stop := true;
-                  if (not !stop) && !fetch_idx < n then begin
-                    (* A taken transfer moved us to a new line next cycle
-                       anyway; nothing to do here. *)
-                    ()
-                  end
+                  else if s.ev.fetch_break then stop := true
                 end
               end
             end
-          end
         done;
         if !fetched_any then begin
           if checks then incr fetch_active;
@@ -622,18 +757,22 @@ let run ?(warm = true) ?(checks = false) ?on_commit (cfg : Config.t)
           incr idle_supply
         end
       end
-    end
   in
 
   (* ------------------------------ main loop ------------------------ *)
+  (* Prime the head so an empty stream finishes in zero cycles, exactly
+     as the materialized path always has. *)
+  ignore (peek_head ());
   let now = ref 0 in
-  let guard = (n * 300) + 1_000_000 in
   let finished () =
-    !fetch_idx >= n && Queue.is_empty fetch_q && Queue.is_empty decode_q
+    !exhausted
+    && (match !head with None -> true | Some _ -> false)
+    && Queue.is_empty fetch_q && Queue.is_empty decode_q
     && Queue.is_empty rob
   in
   while not (finished ()) do
-    if !now > guard then failwith "Cpu.run: deadlock (cycle guard exceeded)";
+    if !now > (!pulled * 300) + 1_000_000 then
+      failwith "Cpu.run: deadlock (cycle guard exceeded)";
     do_commit !now;
     do_completions !now;
     do_issue !now;
@@ -643,15 +782,16 @@ let run ?(warm = true) ?(checks = false) ?on_commit (cfg : Config.t)
     incr now
   done;
 
+  let n = !pulled in
   if checks then begin
     (* End-of-run accounting identities. *)
     if !committed_total <> n then
       invariant_fail "committed %d of %d trace events" !committed_total n;
     if !iq_len <> 0 then
       invariant_fail "issue queue not drained (%d entries left)" !iq_len;
-    if Hashtbl.length calendar <> 0 then
+    if Int_tbl.length calendar <> 0 then
       invariant_fail "completion calendar not drained (%d cycles pending)"
-        (Hashtbl.length calendar);
+        (Int_tbl.length calendar);
     if Hashtbl.length producers <> 0 then
       invariant_fail "producer bookkeeping not drained (%d entries)"
         (Hashtbl.length producers);
@@ -687,3 +827,8 @@ let run ?(warm = true) ?(checks = false) ?on_commit (cfg : Config.t)
     efetch_predictions = Efetch.predictions efetch;
     efetch_correct = Efetch.correct efetch;
   }
+
+let run ?warm ?checks ?on_commit (cfg : Config.t) (trace : Prog.Trace.t) :
+    Stats.t =
+  run_stream ?warm ?checks ?on_commit cfg (fun () ->
+      Prog.Trace.Stream.of_trace trace)

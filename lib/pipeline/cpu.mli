@@ -26,15 +26,25 @@ type commit = {
     markers retire at decode and never enter the ROB, so they do not
     appear in this stream. *)
 
-val run :
+type source = unit -> Prog.Trace.Stream.cursor
+(** A replayable event source.  The simulator pulls the stream twice per
+    run — once for the warm pass and once for simulation — so the
+    thunk must yield a fresh cursor over the same events each call. *)
+
+val run_stream :
   ?warm:bool ->
   ?checks:bool ->
   ?on_commit:(commit -> unit) ->
   Config.t ->
-  Prog.Trace.t ->
+  source ->
   Stats.t
-(** Simulate the whole event stream to completion and report statistics.
-    [warm] (default true) replays the trace's memory footprint through
+(** Simulate an event stream to completion and report statistics.  Peak
+    memory is O(window): in-flight instructions live in a fixed ring of
+    slot records sized by fetch queue + decode queue + ROB, recycled in
+    stream order, so arbitrarily long streams simulate without ever
+    materializing a trace.
+
+    [warm] (default true) replays the stream's memory footprint through
     the cache hierarchy first, so measurements reflect steady state
     rather than cold start.  Raises [Failure] if the machine deadlocks
     (internal invariant violation).
@@ -43,12 +53,24 @@ val run :
     in-order retirement, monotone per-instruction stage timestamps,
     issue-queue capacity and age ordering, no instruction issuing before
     all of its renamed producers have completed, and end-of-run
-    accounting identities (every trace event committed; queues and the
-    completion calendar drained; stage counts = committed − CDP markers;
-    fetch-stall split covers every live fetch cycle).  A violation
-    raises [Failure] naming the invariant.  Used by the differential
-    test harness; costs a few percent of runtime.
+    accounting identities (every stream
+    event committed; queues and the completion calendar drained; stage
+    counts = committed − CDP markers; fetch-stall split covers every
+    live fetch cycle).  A violation raises [Failure] naming the
+    invariant.  Used by the differential test harness; costs a few
+    percent of runtime.
 
     [on_commit] observes every ROB retirement in order — the hook the
     oracle differential harness lines up against the golden model's
     commit log. *)
+
+val run :
+  ?warm:bool ->
+  ?checks:bool ->
+  ?on_commit:(commit -> unit) ->
+  Config.t ->
+  Prog.Trace.t ->
+  Stats.t
+(** {!run_stream} over a materialized trace — bit-identical statistics.
+    Kept as the convenient entry point for tests and callers that
+    already hold arrays. *)

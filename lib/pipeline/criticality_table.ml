@@ -27,8 +27,14 @@ let train t ~pc ~fanout =
     t.tags.(i) <- pc;
     t.confidence.(i) <- if fanout >= t.threshold then 2 else 0
   end
-  else if fanout >= t.threshold then
-    t.confidence.(i) <- min 3 (t.confidence.(i) + 1)
-  else t.confidence.(i) <- max 0 (t.confidence.(i) - 1)
+  else if fanout >= t.threshold then begin
+    (* int-specialized saturation: train runs once per retirement *)
+    let c = t.confidence.(i) in
+    t.confidence.(i) <- (if c >= 3 then 3 else c + 1)
+  end
+  else begin
+    let c = t.confidence.(i) in
+    t.confidence.(i) <- (if c <= 0 then 0 else c - 1)
+  end
 
 let predicted_critical t = t.hits

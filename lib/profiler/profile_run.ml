@@ -39,10 +39,11 @@ let single_block_segments dfg nodes =
 let chain_criticality ?(metric = Metric.Average_fanout) dfg nodes =
   Metric.score metric (List.map (Dfg.fanout dfg) nodes)
 
-let profile ?(window = 512) ?(threshold = 4.0) ?(max_len = 9)
+let profile_stream ?(window = 512) ?(threshold = 4.0) ?(max_len = 9)
     ?(fanout_threshold = 4) ?(fraction = 1.0) ?(max_paths_per_window = 512)
-    ?(metric = Metric.Average_fanout) (trace : Prog.Trace.t) : Critic_db.t =
-  let n = Array.length trace in
+    ?(metric = Metric.Average_fanout) ~total_events
+    (cursor : Prog.Trace.Stream.cursor) : Critic_db.t =
+  let n = total_events in
   let limit =
     max 0 (min n (int_of_float (fraction *. float_of_int n)))
   in
@@ -123,12 +124,35 @@ let profile ?(window = 512) ?(threshold = 4.0) ?(max_len = 9)
       (fun seg -> List.iter (record_segment dfg) (chunk seg))
       (single_block_segments dfg nodes)
   in
-  let pos = ref 0 in
-  while !pos < limit do
-    let hi = min limit (!pos + window) in
-    if hi - !pos >= 8 then begin
+  (* One window of events lives in a reused buffer; DFG node indices are
+     window-relative either way, and events carry their absolute [seq],
+     so each window's analysis is identical to slicing a materialized
+     trace at the same offsets. *)
+  let buf : Prog.Trace.t ref = ref [||] in
+  let taken = ref 0 in
+  let total_work = ref 0 in
+  let take_window () =
+    let len = ref 0 in
+    let continue = ref true in
+    while !continue && !len < window && !taken < limit do
+      match Prog.Trace.Stream.next cursor with
+      | None -> continue := false
+      | Some e ->
+        if Array.length !buf = 0 then buf := Array.make (max 1 window) e;
+        !buf.(!len) <- e;
+        incr len;
+        incr taken;
+        if Prog.Trace.is_work e then incr total_work
+    done;
+    !len
+  in
+  let continue = ref true in
+  while !continue do
+    let len = take_window () in
+    if len = 0 then continue := false
+    else if len >= 8 then begin
       Hashtbl.reset seen_this_window;
-      let dfg = Dfg.of_events ~lo:!pos ~hi trace in
+      let dfg = Dfg.of_events ~lo:0 ~hi:len !buf in
       let ics =
         Dfg.Ic.enumerate ~max_paths:max_paths_per_window ~max_len:window dfg
       in
@@ -142,8 +166,7 @@ let profile ?(window = 512) ?(threshold = 4.0) ?(max_len = 9)
       List.iter
         (fun (v, c) -> H.addn chain_gaps v c)
         (H.bins gaps)
-    end;
-    pos := hi
+    end
   done;
   (* Greedy per-block selection of non-overlapping sites, best dynamic
      coverage first. *)
@@ -184,7 +207,11 @@ let profile ?(window = 512) ?(threshold = 4.0) ?(max_len = 9)
         end)
       sorted
   in
-  let total_work =
-    Prog.Trace.work_count (Array.sub trace 0 limit)
-  in
-  { Critic_db.sites; total_work; ic_lengths; ic_spreads; chain_gaps }
+  { Critic_db.sites; total_work = !total_work; ic_lengths; ic_spreads;
+    chain_gaps }
+
+let profile ?window ?threshold ?max_len ?fanout_threshold ?fraction
+    ?max_paths_per_window ?metric (trace : Prog.Trace.t) : Critic_db.t =
+  profile_stream ?window ?threshold ?max_len ?fanout_threshold ?fraction
+    ?max_paths_per_window ?metric ~total_events:(Array.length trace)
+    (Prog.Trace.Stream.of_trace trace)

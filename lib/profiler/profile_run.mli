@@ -9,6 +9,24 @@
     hash table — the laptop-scale equivalent of the paper's distributed
     PairRDD sort. *)
 
+val profile_stream :
+  ?window:int ->
+  ?threshold:float ->
+  ?max_len:int ->
+  ?fanout_threshold:int ->
+  ?fraction:float ->
+  ?max_paths_per_window:int ->
+  ?metric:Metric.t ->
+  total_events:int ->
+  Prog.Trace.Stream.cursor ->
+  Critic_db.t
+(** Profile a pull-based event stream in O(window) memory: events are
+    staged one analysis window at a time in a reused buffer, so the
+    trace is never materialized.  [total_events] is the stream's total
+    event count (see {!Prog.Trace.length_of_path}), needed up front to
+    resolve [fraction].  Produces the same database {!profile} would on
+    the materialized trace. *)
+
 val profile :
   ?window:int ->
   ?threshold:float ->
@@ -19,7 +37,8 @@ val profile :
   ?metric:Metric.t ->
   Prog.Trace.t ->
   Critic_db.t
-(** [profile trace] analyses the stream and returns the CritIC database.
+(** [profile trace] analyses the stream and returns the CritIC database
+    ({!profile_stream} over the materialized events).
 
     - [window]: analysis window in dynamic instructions (default 512);
     - [threshold]: minimum average fanout per instruction for a chain to

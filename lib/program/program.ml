@@ -3,6 +3,11 @@ type t = {
   blocks : Block.t array; (* indexed by block id *)
   addrs : int array;      (* start address per block id *)
   code_size : int;
+  mutable muid : int;
+      (* memoized [max_uid]; [min_int] until first demand.  The event
+         stream sizes a per-uid counter array off it on every cursor, so
+         recomputing the fold each time would scan the whole program per
+         simulator run. *)
 }
 
 let code_base = 0x10000
@@ -50,7 +55,7 @@ let make ~entry ~blocks =
         (Block.successors b))
     blocks;
   let addrs, code_size = layout blocks in
-  { entry; blocks; addrs; code_size }
+  { entry; blocks; addrs; code_size; muid = min_int }
 
 let entry t = t.entry
 let block t id = t.blocks.(id)
@@ -63,10 +68,15 @@ let instr_count t =
   Array.fold_left (fun acc b -> acc + Array.length b.Block.body) 0 t.blocks
 
 let max_uid t =
-  Array.fold_left
-    (fun acc (b : Block.t) ->
-      Array.fold_left (fun acc (i : Isa.Instr.t) -> max acc i.uid) acc b.body)
-    (-1) t.blocks
+  if t.muid = min_int then
+    t.muid <-
+      Array.fold_left
+        (fun acc (b : Block.t) ->
+          Array.fold_left
+            (fun acc (i : Isa.Instr.t) -> if i.uid > acc then i.uid else acc)
+            acc b.body)
+        (-1) t.blocks;
+  t.muid
 
 let map_blocks f t =
   let blocks =
@@ -79,7 +89,8 @@ let map_blocks f t =
       t.blocks
   in
   let addrs, code_size = layout blocks in
-  { t with blocks; addrs; code_size }
+  (* muid resets: passes may add instructions with fresh uids *)
+  { t with blocks; addrs; code_size; muid = min_int }
 
 let iter_instrs f t =
   Array.iter (fun b -> Array.iter (f b) b.Block.body) t.blocks

@@ -26,11 +26,50 @@ type event = {
 
 type t = event array
 
+module Stream : sig
+  (** Pull-based event cursor: the same dynamic stream {!expand}
+      materializes, produced one event at a time in O(1) space (plus the
+      per-static-instruction access counters).  [expand] itself is
+      implemented by materializing this stream, so the two can never
+      diverge. *)
+
+  type cursor
+
+  val of_program : Program.t -> seed:int -> Walk.path -> cursor
+  (** Expand lazily over [path]; each pull yields the next event.  One
+      event of internal lookahead resolves [next_pc]/[fetch_break]. *)
+
+  val of_trace : t -> cursor
+  (** Replay an already-materialized trace — the thin adapter used by
+      tests and by callers that still hold arrays. *)
+
+  val next : cursor -> event option
+  (** Consume and return the next event, or [None] at end of stream. *)
+
+  val peek : cursor -> event option
+  (** Return the next event without consuming it. *)
+
+  val iter : (event -> unit) -> cursor -> unit
+  val fold : ('a -> event -> 'a) -> 'a -> cursor -> 'a
+
+  val to_trace : cursor -> t
+  (** Materialize the rest of the stream into an array. *)
+end
+
 val expand : Program.t -> seed:int -> Walk.path -> t
 (** Expand a block path into the dynamic event stream.  Synthetic
     control-transfer instructions are appended per block terminator
     (conditional branch, jump, call, return); [Fallthrough] appends
-    nothing. *)
+    nothing.  Equivalent to materializing {!Stream.of_program}. *)
+
+val length_of_path : Program.t -> Walk.path -> int
+(** Number of events {!expand} would produce for [path] — body
+    instructions plus one synthetic terminator per non-fallthrough
+    block visit — computed in O(path) without expanding. *)
+
+val is_work : event -> bool
+(** True for useful-work events: everything except synthetic block
+    terminators and CDP markers. *)
 
 val instr_events : t -> event list
 (** Events excluding synthetic terminators and CDP markers — the

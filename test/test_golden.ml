@@ -1,0 +1,130 @@
+(* Golden statistics of the cycle simulator.
+
+   Each entry is the MD5 of the marshalled [Pipeline.Stats.t] that the
+   pre-streaming engine (commit 2344d12, which materialized the whole
+   trace and allocated one slot per event) produced for an
+   (app, scheme, machine-variant) triple at a 6000-instruction budget.
+   The windowed streaming engine must reproduce every one bit for bit:
+   these digests are the recorded-seed contract that O(window)
+   recycling, the batch cursor and the scheme cache changed *nothing*
+   observable.
+
+   If an intentional semantic change to the simulator ever invalidates
+   them, regenerate with the same loop as [cases] below, printing
+   [digest (Critics.Run.stats ~config ctx scheme)] per case. *)
+
+let digest (st : Pipeline.Stats.t) =
+  Digest.to_hex (Digest.string (Marshal.to_string st []))
+
+let golden =
+  [
+    ("Acrobat", "baseline", "table_i", "49933c833a1d353408309a48c812486c");
+    ("Acrobat", "baseline", "2x_fd", "5969a765bfeb5e3692d2279406bd438b");
+    ("Acrobat", "baseline", "4x_icache+backend_prio", "7a0501576323547b2d5105119df6d9f6");
+    ("Acrobat", "baseline", "narrow2", "f3769926bd59edc3e27d3758ca8d2c25");
+    ("Acrobat", "baseline", "free_cdp+efetch", "49933c833a1d353408309a48c812486c");
+    ("Acrobat", "baseline", "perfect_bp+clp", "3339e007696a920f92b532513cb4233e");
+    ("Acrobat", "baseline", "wrong_path", "c8dc03b26fbd62b132b3f3884b4b5763");
+    ("Acrobat", "critic", "table_i", "6d1adc44993869918195f4e83735d757");
+    ("Acrobat", "critic", "2x_fd", "72e191c5566d5c80e22bcfd0a0d14f11");
+    ("Acrobat", "critic", "4x_icache+backend_prio", "50358f8b1e464f0b572c03406d036e12");
+    ("Acrobat", "critic", "narrow2", "6686ab47f1e7af714da37626b6f911f4");
+    ("Acrobat", "critic", "free_cdp+efetch", "73ebef736d732c5138b45e804386d698");
+    ("Acrobat", "critic", "perfect_bp+clp", "39e7263c5ae95de7adbbdfc0215c46ba");
+    ("Acrobat", "critic", "wrong_path", "4f91cae06ca6938ca2b007ed2ee27561");
+    ("Acrobat", "opp16+critic", "table_i", "f921ac8d12586ef03bac495e85d5e9e0");
+    ("Acrobat", "opp16+critic", "2x_fd", "e10706d15f0006d9e8be94831a14eed9");
+    ("Acrobat", "opp16+critic", "4x_icache+backend_prio", "88a122081b65b96228ac227d5a8adb5c");
+    ("Acrobat", "opp16+critic", "narrow2", "4ddc01fc68e6939fe6e9a0de0e4c40ae");
+    ("Acrobat", "opp16+critic", "free_cdp+efetch", "e2f88e0c4c0113689fafc242a49e9050");
+    ("Acrobat", "opp16+critic", "perfect_bp+clp", "53768a29e13aa462c646adc3e1a641b6");
+    ("Acrobat", "opp16+critic", "wrong_path", "90b18e0ab2c004af2e9dc4b9627dc73a");
+    ("Music", "baseline", "table_i", "d33787c6c35b0c938a0b1285b736eb7a");
+    ("Music", "baseline", "2x_fd", "d4e1f6ab546dc3f75ddae9f988590667");
+    ("Music", "baseline", "4x_icache+backend_prio", "d3698ab9ff04cf65dd444f44e42ca072");
+    ("Music", "baseline", "narrow2", "0c004886fde63d8694842de6f5f4717f");
+    ("Music", "baseline", "free_cdp+efetch", "d33787c6c35b0c938a0b1285b736eb7a");
+    ("Music", "baseline", "perfect_bp+clp", "310d7eed0c24cc2c8923638fb4e8fb0e");
+    ("Music", "baseline", "wrong_path", "2e39033fa8044d6960b2f823b62c3d52");
+    ("Music", "critic", "table_i", "3f78d843fbc94107a8384f5c7512f0f0");
+    ("Music", "critic", "2x_fd", "e160b7def8079495b067e63a541e4d4e");
+    ("Music", "critic", "4x_icache+backend_prio", "4b97760480f24965a42f1fff9c45d43d");
+    ("Music", "critic", "narrow2", "e3601cc46a92da4bd282e187fc306240");
+    ("Music", "critic", "free_cdp+efetch", "a5f4a86fdbda20e41165e3a73133d554");
+    ("Music", "critic", "perfect_bp+clp", "34be58f0244f26bc414dbd60acdb1785");
+    ("Music", "critic", "wrong_path", "47c6edb04370db19221f5781f1f5a751");
+    ("Music", "opp16+critic", "table_i", "e701473e3c7f07299ffcc5e7e08e0859");
+    ("Music", "opp16+critic", "2x_fd", "d2581117acbd3f3bb62bf035c8ddba3b");
+    ("Music", "opp16+critic", "4x_icache+backend_prio", "aefa76587aa7f9ef22db8917f08741c2");
+    ("Music", "opp16+critic", "narrow2", "eaee765b45785e1cc183aa68ff3220f6");
+    ("Music", "opp16+critic", "free_cdp+efetch", "f544f32df93a88c805a32be16acc86e1");
+    ("Music", "opp16+critic", "perfect_bp+clp", "e56df2cb4c1af622e446aee1b6bcedd0");
+    ("Music", "opp16+critic", "wrong_path", "5938dd04dad377effb00e0dd1eca4dfa");
+    ("lbm", "baseline", "table_i", "3b0c9772abb73d90dc13d62ab7b1403a");
+    ("lbm", "baseline", "2x_fd", "2c8d586953bcca239af015ba7c0c9780");
+    ("lbm", "baseline", "4x_icache+backend_prio", "01cf52e3c11f42b01d51b7cbd2f928c4");
+    ("lbm", "baseline", "narrow2", "0a1ccda3de5229c4de3b3218ecb93bbc");
+    ("lbm", "baseline", "free_cdp+efetch", "3b0c9772abb73d90dc13d62ab7b1403a");
+    ("lbm", "baseline", "perfect_bp+clp", "d04e24aaec3f39c3a69a6c2b38ae3175");
+    ("lbm", "baseline", "wrong_path", "2b7dc19c6aa36fb2b672195d18ba646b");
+    ("lbm", "critic", "table_i", "d4f014cb4947667cbd9dd9147b43d05f");
+    ("lbm", "critic", "2x_fd", "85e41505df37114134c70a75a815a293");
+    ("lbm", "critic", "4x_icache+backend_prio", "819898737b1be65caed324a0740de10f");
+    ("lbm", "critic", "narrow2", "59bae7fc1e40ea5ecffec430aff6ab15");
+    ("lbm", "critic", "free_cdp+efetch", "569177a212c7aa3ae5e68dd51b93258c");
+    ("lbm", "critic", "perfect_bp+clp", "a362196a7834359599a0bea10cfdd707");
+    ("lbm", "critic", "wrong_path", "0ee4b4e4741560c3ab454babbe6a0dea");
+    ("lbm", "opp16+critic", "table_i", "d0af99f466120c688e3d265745723034");
+    ("lbm", "opp16+critic", "2x_fd", "46d71a0e9c1b326b0c07ad99c4bb6738");
+    ("lbm", "opp16+critic", "4x_icache+backend_prio", "bdc6c0ec849f50d77cd5b1406ff83ff9");
+    ("lbm", "opp16+critic", "narrow2", "32f000fbab38d2748f5084cd6e19ef6a");
+    ("lbm", "opp16+critic", "free_cdp+efetch", "6de579cf0917caa86e64338db70fee80");
+    ("lbm", "opp16+critic", "perfect_bp+clp", "ee3d71168c232d9cf44ceba49eb013ac");
+    ("lbm", "opp16+critic", "wrong_path", "04f9f00b58f5794d5a8ade5098fc1562");
+  ]
+
+let schemes =
+  [
+    Critics.Scheme.Baseline; Critics.Scheme.Critic; Critics.Scheme.Opp16_critic;
+  ]
+
+let cases () =
+  List.concat_map
+    (fun app ->
+      let ctx =
+        Critics.Run.prepare ~instrs:6_000
+          (Option.get (Workload.Apps.find app))
+      in
+      List.concat_map
+        (fun scheme ->
+          List.map
+            (fun (cname, config) ->
+              ( app,
+                Critics.Scheme.name scheme,
+                cname,
+                digest (Critics.Run.stats ~config ctx scheme) ))
+            Oracle.Differential.configs)
+        schemes)
+    [ "Acrobat"; "Music"; "lbm" ]
+
+let test_stats_match_recorded_engine () =
+  let actual = cases () in
+  Alcotest.(check int) "case count" (List.length golden) (List.length actual);
+  List.iter2
+    (fun (app, scheme, cfg, want) (app', scheme', cfg', got) ->
+      Alcotest.(check (triple string string string))
+        "case identity" (app, scheme, cfg) (app', scheme', cfg');
+      Alcotest.(check string)
+        (Printf.sprintf "%s/%s/%s stats digest" app scheme cfg)
+        want got)
+    golden actual
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "windowed engine vs recorded stats",
+        [
+          Alcotest.test_case "63 (app x scheme x config) digests" `Slow
+            test_stats_match_recorded_engine;
+        ] );
+    ]

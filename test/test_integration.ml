@@ -137,7 +137,10 @@ let test_apps_table () =
 
 let test_characterize () =
   let ctx = Lazy.force mobile_ctx in
-  let c = Workload.Characterize.of_trace ctx.trace in
+  let c =
+    Workload.Characterize.of_trace
+      (Critics.Run.trace_of ctx Critics.Scheme.Baseline)
+  in
   Alcotest.(check bool) "mix sums to ~1" true
     (abs_float (List.fold_left (fun a (_, v) -> a +. v) 0.0 c.mix -. 1.0)
     < 1e-6);
@@ -158,6 +161,24 @@ let test_samples_differ () =
   Alcotest.(check int) "same code" 
     (Prog.Program.instr_count a.program)
     (Prog.Program.instr_count b.program)
+
+let test_transform_cache () =
+  (* A fresh context so counts aren't polluted by the shared lazies. *)
+  let ctx =
+    Critics.Run.prepare ~instrs:5_000
+      (Option.get (Workload.Apps.find "Music"))
+  in
+  Alcotest.(check int) "no transforms yet" 0 (Critics.Run.transform_count ctx);
+  let a = Critics.Run.stats ctx Critics.Scheme.Baseline in
+  let b = Critics.Run.stats ctx Critics.Scheme.Critic in
+  (* alternating back to an already-transformed scheme must hit the
+     cache, and baseline must never occupy a slot *)
+  let a' = Critics.Run.stats ctx Critics.Scheme.Baseline in
+  let b' = Critics.Run.stats ctx Critics.Scheme.Critic in
+  Alcotest.(check int) "critic pipeline ran exactly once" 1
+    (Critics.Run.transform_count ctx);
+  Alcotest.(check int) "baseline reproducible" a.cycles a'.cycles;
+  Alcotest.(check int) "critic reproducible" b.cycles b'.cycles
 
 let test_find_case_insensitive () =
   Alcotest.(check bool) "lowercase lookup" true
@@ -187,6 +208,7 @@ let () =
           Alcotest.test_case "apps table" `Quick test_apps_table;
           Alcotest.test_case "characterize" `Slow test_characterize;
           Alcotest.test_case "samples differ" `Quick test_samples_differ;
+          Alcotest.test_case "transform cache" `Slow test_transform_cache;
           Alcotest.test_case "find" `Quick test_find_case_insensitive;
         ] );
     ]

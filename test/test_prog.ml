@@ -195,6 +195,39 @@ let prop_body_index =
           else Isa.Opcode.is_control e.instr.I.opcode)
         t)
 
+(* property: the pull cursor and the materializing expander are the
+   same stream.  Exercises the batch-refill protocol (peek must not
+   advance, next must deliver every event exactly once, exhaustion is
+   stable) against arbitrary fuzzer-generated programs, where block
+   shapes — empty bodies, fallthrough-only blocks, call/return — hit
+   every refill edge case. *)
+let prop_stream_equals_expand =
+  QCheck.Test.make ~name:"Stream.of_program replays expand event-for-event"
+    ~count:60
+    QCheck.(pair Workload.Fuzz.arbitrary small_nat)
+    (fun (genome, seed) ->
+      let p = Workload.Fuzz.build genome in
+      let path = Prog.Walk.path_for_instrs p ~seed ~instrs:500 in
+      let reference = Prog.Trace.expand p ~seed path in
+      let c = Prog.Trace.Stream.of_program p ~seed path in
+      Array.iteri
+        (fun i want ->
+          (* peek twice: must not advance or change the answer *)
+          (match (Prog.Trace.Stream.peek c, Prog.Trace.Stream.peek c) with
+          | Some a, Some b when a == b -> ()
+          | _ -> QCheck.Test.fail_reportf "peek unstable at event %d" i);
+          match Prog.Trace.Stream.next c with
+          | Some got when got = want -> ()
+          | Some got ->
+            QCheck.Test.fail_reportf
+              "event %d diverges: uid %d pc 0x%x <> uid %d pc 0x%x" i
+              got.instr.uid got.pc want.instr.uid want.pc
+          | None -> QCheck.Test.fail_reportf "stream short at event %d" i)
+        reference;
+      Prog.Trace.Stream.next c = None
+      && Prog.Trace.Stream.peek c = None
+      && Array.length reference = Prog.Trace.length_of_path p path)
+
 let () =
   Alcotest.run "prog"
     [
@@ -224,5 +257,6 @@ let () =
             test_cond_branch_taken_matches_path;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_body_index ] );
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_body_index; prop_stream_equals_expand ] );
     ]
