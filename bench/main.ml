@@ -182,58 +182,143 @@ let json_results ~jobs ~total_ms timings =
   Buffer.add_string b "  ]\n}\n";
   Buffer.contents b
 
-let tables ~jobs () =
+(* Crash-safe write: a kill mid-write must never leave a truncated
+   BENCH_results.json that validate_smoke would half-parse. *)
+let atomic_write path contents =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     output_string oc contents;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let results_path = "BENCH_results.json"
+let journal_path = "BENCH_journal.jsonl"
+
+let tables ~jobs ~resume () =
   Printf.printf
     "CritICs reproduction — regenerating every table and figure\n\
      (%d work instructions per app run; see EXPERIMENTS.md for the\n\
      paper-vs-measured discussion)\n"
     !instrs;
+  (* The journal is the resume contract: one flushed line per completed
+     artifact.  A fresh run starts it over; --resume trusts it and skips
+     the artifacts it names. *)
+  let skip =
+    if resume then Experiments.Journal.completed_ids journal_path
+    else begin
+      Experiments.Journal.reset journal_path;
+      []
+    end
+  in
+  let journaled = if resume then Experiments.Journal.load journal_path else [] in
+  if resume && skip <> [] then
+    Printf.eprintf "[bench] resume: skipping %d journaled artifact(s): %s\n%!"
+      (List.length skip) (String.concat " " skip);
   let h = Experiments.Harness.create ~instrs:!instrs ~jobs () in
   let timings = ref [] in
+  let failed = ref [] in
   let time id f =
     let g0 = Gc.quick_stat () in
     let t0 = Unix.gettimeofday () in
     let r = f () in
     let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
     let g1 = Gc.quick_stat () in
-    timings :=
+    let t =
       {
         id;
         wall_ms;
         major_words = g1.Gc.major_words -. g0.Gc.major_words;
         top_heap_words = g1.Gc.top_heap_words;
       }
-      :: !timings;
+    in
+    timings := t :: !timings;
+    Experiments.Journal.append journal_path
+      {
+        Experiments.Journal.entry_id = id;
+        wall_ms;
+        major_words = t.major_words;
+        top_heap_words = t.top_heap_words;
+      };
     r
   in
+  let entries =
+    List.filter
+      (fun (e : Experiments.entry) -> not (List.mem e.id skip))
+      Experiments.all
+  in
   let t_start = Unix.gettimeofday () in
-  (* Evaluate every (app × scheme × config) job of every artifact across
-     the domain pool up front; the per-artifact renders below then read
-     from the memo tables (plus their own custom analyses). *)
-  time "prewarm" (fun () -> Experiments.prewarm h);
+  (* Evaluate every (app × scheme × config) job of every remaining
+     artifact across the domain pool up front; the per-artifact renders
+     below then read from the memo tables (plus their own custom
+     analyses). *)
+  if not (List.mem "prewarm" skip && entries = []) then
+    time "prewarm" (fun () ->
+        Experiments.Harness.run_batch h
+          (List.concat_map (fun (e : Experiments.entry) -> e.jobs ()) entries));
   List.iter
     (fun (e : Experiments.entry) ->
       Printf.printf "\n===== %s — %s =====\n" e.id e.title;
-      time e.id (fun () -> print_string (e.render h));
-      print_newline ())
-    Experiments.all;
+      (* Graceful degradation: one failing artifact is reported and the
+         rest of the batch still completes (and journals). *)
+      match time e.id (fun () -> print_string (e.render h)) with
+      | () -> print_newline ()
+      | exception exn ->
+        let err = Util.Err.of_exn exn in
+        failed := (e.id, err) :: !failed;
+        Printf.printf "[bench] artifact %s FAILED: %s\n" e.id
+          (Util.Err.to_string err))
+    entries;
   let total_ms = 1000.0 *. (Unix.gettimeofday () -. t_start) in
-  let json = json_results ~jobs ~total_ms (List.rev !timings) in
-  let oc = open_out "BENCH_results.json" in
-  output_string oc json;
-  close_out oc;
-  Printf.eprintf "[bench] jobs=%d total=%.1fs — timings in BENCH_results.json\n"
-    jobs (total_ms /. 1000.0)
+  (* Merge: measurements journaled by the killed run first (canonical
+     artifact order), then this run's. *)
+  let merged =
+    let fresh = List.rev !timings in
+    let from_journal =
+      List.filter_map
+        (fun (j : Experiments.Journal.entry) ->
+          if List.exists (fun t -> t.id = j.entry_id) fresh then None
+          else
+            Some
+              {
+                id = j.entry_id;
+                wall_ms = j.wall_ms;
+                major_words = j.major_words;
+                top_heap_words = j.top_heap_words;
+              })
+        journaled
+    in
+    from_journal @ fresh
+  in
+  let json = json_results ~jobs ~total_ms merged in
+  atomic_write results_path json;
+  Printf.eprintf "[bench] jobs=%d total=%.1fs — timings in %s\n" jobs
+    (total_ms /. 1000.0) results_path;
+  if !failed <> [] then begin
+    Printf.eprintf "[bench] %d artifact(s) failed:\n" (List.length !failed);
+    List.iter
+      (fun (id, err) ->
+        Printf.eprintf "[bench]   %s: %s\n" id (Util.Err.to_string err))
+      (List.rev !failed);
+    exit 1
+  end
 
 let usage () =
   prerr_endline
-    "usage: bench [--micro] [--jobs N] [--instrs N]\n\n\
+    "usage: bench [--micro] [--jobs N] [--instrs N] [--resume]\n\n\
      Regenerates every table and figure (default) or runs the Bechamel\n\
      micro-benchmarks (--micro).\n\n\
     \  --jobs N    domain-pool width (default: recommended domain count,\n\
     \              or CRITICS_JOBS)\n\
     \  --instrs N  dynamic work instructions per app run (default: 100000,\n\
-    \              or CRITICS_BENCH_INSTRS)";
+    \              or CRITICS_BENCH_INSTRS)\n\
+    \  --resume    skip artifacts already journaled in BENCH_journal.jsonl\n\
+    \              (e.g. after a killed run) and merge their recorded\n\
+    \              measurements into BENCH_results.json";
   exit 2
 
 let () =
@@ -242,6 +327,7 @@ let () =
     usage ()
   in
   let micro_mode = ref false in
+  let resume = ref false in
   let jobs = ref (Parallel.default_jobs ()) in
   let set_int name r v =
     match int_of_string_opt v with
@@ -252,6 +338,9 @@ let () =
     | [] -> ()
     | "--micro" :: rest ->
       micro_mode := true;
+      parse rest
+    | "--resume" :: rest ->
+      resume := true;
       parse rest
     | "--jobs" :: n :: rest ->
       set_int "--jobs" jobs n;
@@ -273,4 +362,4 @@ let () =
       usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
-  if !micro_mode then micro () else tables ~jobs:!jobs ()
+  if !micro_mode then micro () else tables ~jobs:!jobs ~resume:!resume ()

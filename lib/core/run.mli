@@ -68,8 +68,14 @@ val trace_of : app_context -> Scheme.t -> Prog.Trace.t
     only. *)
 
 val stats :
-  ?config:Pipeline.Config.t -> app_context -> Scheme.t -> Pipeline.Stats.t
-(** Simulate a scheme (default machine: Table I), streaming. *)
+  ?config:Pipeline.Config.t ->
+  ?fuel:int ->
+  app_context ->
+  Scheme.t ->
+  Pipeline.Stats.t
+(** Simulate a scheme (default machine: Table I), streaming.  [fuel]
+    bounds the run in simulated cycles; exceeding it raises
+    [Util.Err.Error] with kind [Timeout] (see {!Pipeline.Cpu.run_stream}). *)
 
 val speedup : base:Pipeline.Stats.t -> Pipeline.Stats.t -> float
 (** Fractional cycle-count improvement over [base] for the same work. *)

@@ -1,0 +1,66 @@
+(* Append-only batch journal (JSONL): one line per completed artifact.
+
+   The journal is what makes a killed bench run resumable: each entry is
+   appended and flushed the moment its artifact completes, so after a
+   SIGKILL the journal names exactly the artifacts whose work is done.
+   A line is self-contained JSON; a kill mid-append leaves at most one
+   truncated final line, which [load] tolerates by skipping lines that
+   do not parse (graceful degradation, never an abort). *)
+
+type entry = {
+  entry_id : string;
+  wall_ms : float;
+  major_words : float;
+  top_heap_words : int;
+}
+
+let to_line e =
+  Printf.sprintf
+    "{ \"id\": %S, \"wall_ms\": %.1f, \"major_words\": %.0f, \
+     \"top_heap_words\": %d }"
+    e.entry_id e.wall_ms e.major_words e.top_heap_words
+
+let of_line l =
+  try
+    Scanf.sscanf l
+      " { \"id\": %S, \"wall_ms\": %f, \"major_words\": %f, \
+       \"top_heap_words\": %d }"
+      (fun entry_id wall_ms major_words top_heap_words ->
+        Some { entry_id; wall_ms; major_words; top_heap_words })
+  with Scanf.Scan_failure _ | End_of_file | Failure _ -> None
+
+let append path e =
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_line e);
+      output_char oc '\n';
+      flush oc)
+
+let load path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | exception End_of_file -> List.rev acc
+          | line ->
+            go (match of_line line with Some e -> e :: acc | None -> acc)
+        in
+        go [])
+  end
+
+let completed_ids path =
+  List.fold_left
+    (fun acc (e : entry) ->
+      if List.mem e.entry_id acc then acc else e.entry_id :: acc)
+    [] (load path)
+  |> List.rev
+
+let reset path = if Sys.file_exists path then Sys.remove path

@@ -1,0 +1,32 @@
+(** Append-only batch journal (JSONL): one line per completed artifact.
+
+    [bench/main.exe] appends an entry (with a flush) the moment an
+    artifact finishes, so a run killed mid-batch leaves a journal naming
+    exactly the completed work; [--resume] then skips those artifacts
+    and merges their recorded measurements into the final
+    [BENCH_results.json].  A kill mid-append leaves at most one
+    truncated final line, which {!load} skips rather than aborting. *)
+
+type entry = {
+  entry_id : string;
+  wall_ms : float;
+  major_words : float;
+  top_heap_words : int;
+}
+
+val append : string -> entry -> unit
+(** [append path e] appends one line to [path] (creating it if needed)
+    and flushes before closing. *)
+
+val load : string -> entry list
+(** Entries in file order; a missing file is an empty journal, and
+    unparseable lines (truncated tail after a kill) are skipped. *)
+
+val completed_ids : string -> string list
+(** Distinct artifact ids present in the journal, first-seen order. *)
+
+val reset : string -> unit
+(** Delete the journal if present (start of a fresh, non-resumed run). *)
+
+val to_line : entry -> string
+val of_line : string -> entry option

@@ -7,7 +7,24 @@
    inside a task degrades gracefully to sequential execution instead of
    deadlocking). *)
 
-type batch = { mutable remaining : int; mutable err : exn option }
+exception Batch_failure of (exn * string) list
+
+let () =
+  Printexc.register_printer (function
+    | Batch_failure errs ->
+      Some
+        (Printf.sprintf "Pool.Batch_failure: %d jobs failed: %s"
+           (List.length errs)
+           (String.concat "; "
+              (List.map (fun (e, _) -> Printexc.to_string e) errs)))
+    | _ -> None)
+
+(* Per-job failures are recorded in submission order, each with the
+   backtrace captured at the catch point. *)
+type batch = {
+  mutable remaining : int;
+  mutable errs : (int * exn * string) list; (* submission idx, newest first *)
+}
 
 type t = {
   jobs : int;
@@ -27,7 +44,18 @@ let default_jobs () =
     | _ -> Domain.recommended_domain_count ())
   | None -> Domain.recommended_domain_count ()
 
+(* One process-wide registry of live pools, drained by a single
+   [at_exit] callback.  Registering a fresh closure per pool kept every
+   pool (and its captured state) reachable for the life of the process —
+   a leak for test suites that create hundreds of short-lived pools. *)
+let registry_lock = Mutex.create ()
+let registry : t list ref = ref []
+let registry_at_exit_installed = ref false
+
 let shutdown t =
+  Mutex.lock registry_lock;
+  registry := List.filter (fun p -> p != t) !registry;
+  Mutex.unlock registry_lock;
   Mutex.lock t.lock;
   t.live <- false;
   Condition.broadcast t.work_available;
@@ -35,6 +63,26 @@ let shutdown t =
   t.workers <- [];
   Mutex.unlock t.lock;
   List.iter Domain.join workers
+
+let register t =
+  Mutex.lock registry_lock;
+  registry := t :: !registry;
+  if not !registry_at_exit_installed then begin
+    registry_at_exit_installed := true;
+    at_exit (fun () ->
+        let rec drain () =
+          Mutex.lock registry_lock;
+          let pools = !registry in
+          registry := [];
+          Mutex.unlock registry_lock;
+          if pools <> [] then begin
+            List.iter shutdown pools;
+            drain ()
+          end
+        in
+        drain ())
+  end;
+  Mutex.unlock registry_lock
 
 let create ?jobs () =
   let jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
@@ -49,7 +97,7 @@ let create ?jobs () =
       workers = [];
     }
   in
-  at_exit (fun () -> shutdown t);
+  register t;
   t
 
 let jobs t = t.jobs
@@ -87,19 +135,45 @@ let ensure_workers t =
     Mutex.unlock t.lock
   end
 
+(* Re-raise policy shared by the sequential and parallel paths: one
+   failed job re-raises its own exception (existing behavior callers
+   match on); several raise the composite so no failure is silently
+   dropped. *)
+let raise_collected errs =
+  match errs with
+  | [] -> ()
+  | [ (_, e, _) ] -> raise e
+  | _ ->
+    raise
+      (Batch_failure
+         (List.map
+            (fun (_, e, bt) -> (e, bt))
+            (List.sort
+               (fun (a, _, _) (b, _, _) -> Int.compare a b)
+               errs)))
+
 let run t thunks =
   match thunks with
   | [] -> ()
   | [ f ] -> f ()
-  | _ when t.jobs <= 1 -> List.iter (fun f -> f ()) thunks
+  | _ when t.jobs <= 1 ->
+    let errs = ref [] in
+    List.iteri
+      (fun i f ->
+        try f ()
+        with e ->
+          errs := (i, e, Printexc.get_backtrace ()) :: !errs)
+      thunks;
+    raise_collected !errs
   | _ ->
     ensure_workers t;
-    let batch = { remaining = List.length thunks; err = None } in
-    let wrap f () =
+    let batch = { remaining = List.length thunks; errs = [] } in
+    let wrap i f () =
       (try f ()
        with e ->
+         let bt = Printexc.get_backtrace () in
          Mutex.lock t.lock;
-         if batch.err = None then batch.err <- Some e;
+         batch.errs <- (i, e, bt) :: batch.errs;
          Mutex.unlock t.lock);
       Mutex.lock t.lock;
       batch.remaining <- batch.remaining - 1;
@@ -107,7 +181,7 @@ let run t thunks =
       Mutex.unlock t.lock
     in
     Mutex.lock t.lock;
-    List.iter (fun f -> Queue.add (wrap f) t.queue) thunks;
+    List.iteri (fun i f -> Queue.add (wrap i f) t.queue) thunks;
     Condition.broadcast t.work_available;
     let rec help () =
       if batch.remaining > 0 then
@@ -125,7 +199,27 @@ let run t thunks =
     in
     help ();
     Mutex.unlock t.lock;
-    (match batch.err with Some e -> raise e | None -> ())
+    raise_collected batch.errs
+
+let run_supervised t thunks =
+  let n = List.length thunks in
+  let out = Array.make n None in
+  let wrapped =
+    List.mapi
+      (fun i f () ->
+        out.(i) <-
+          Some
+            (try Ok (f ())
+             with e -> Error (e, Printexc.get_backtrace ())))
+      thunks
+  in
+  run t wrapped;
+  Array.to_list
+    (Array.map
+       (function
+         | Some r -> r
+         | None -> assert false (* every wrapped thunk stores a result *))
+       out)
 
 let map ?chunk t f xs =
   let n = Array.length xs in

@@ -14,6 +14,12 @@
 
 type t
 
+exception Batch_failure of (exn * string) list
+(** Raised by {!run} (and the [map] family) when {e more than one} job
+    of a batch failed: every failure, in submission order, paired with
+    the backtrace captured where it was caught.  A batch with exactly
+    one failure re-raises that exception unchanged. *)
+
 val default_jobs : unit -> int
 (** [CRITICS_JOBS] from the environment when set to a positive integer,
     otherwise [Domain.recommended_domain_count ()]. *)
@@ -28,10 +34,18 @@ val jobs : t -> int
 
 val run : t -> (unit -> unit) list -> unit
 (** Execute a batch of jobs on the pool, blocking until all complete.
-    The first exception raised by a job (if any) is re-raised in the
-    caller after the batch drains.  Safe to call from inside a pool job:
-    the nested caller executes queued work itself rather than
+    If exactly one job raised, its exception is re-raised in the caller
+    after the batch drains; if several raised, all of them are
+    aggregated into {!Batch_failure} (submission order, with
+    backtraces) — no failure is dropped.  Safe to call from inside a
+    pool job: the nested caller executes queued work itself rather than
     deadlocking. *)
+
+val run_supervised : t -> (unit -> 'a) list -> ('a, exn * string) result list
+(** Like {!run}, but never raises: result [i] is [Ok v] when job [i]
+    returned [v] and [Error (exn, backtrace)] when it raised.  The
+    supervision layer above classifies the captured exceptions
+    ({!Util.Err.of_exn}) and decides retry / quarantine per job. *)
 
 val map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** Order-preserving parallel map.  The input is split into contiguous
@@ -51,5 +65,7 @@ val map_reduce :
 (** [map] in parallel, then fold the results in input order. *)
 
 val shutdown : t -> unit
-(** Stop and join the worker domains.  Idempotent; also registered with
-    [at_exit] by {!create}. *)
+(** Stop and join the worker domains, and drop the pool from the global
+    exit registry.  Idempotent.  Pools still live at process exit are
+    shut down by one shared [at_exit] callback (a single registry, not
+    one closure per pool). *)

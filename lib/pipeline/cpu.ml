@@ -102,8 +102,11 @@ let dummy_event : Prog.Trace.event =
     fetch_break = false;
   }
 
-let run_stream ?(warm = true) ?(checks = false) ?on_commit (cfg : Config.t)
-    (source : source) : Stats.t =
+let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit
+    (cfg : Config.t) (source : source) : Stats.t =
+  (match fuel with
+  | Some f when f <= 0 -> invalid_arg "Cpu.run_stream: fuel must be positive"
+  | _ -> ());
   let fresh_slot () =
     {
       idx = -1;
@@ -770,7 +773,16 @@ let run_stream ?(warm = true) ?(checks = false) ?on_commit (cfg : Config.t)
     && Queue.is_empty fetch_q && Queue.is_empty decode_q
     && Queue.is_empty rob
   in
+  (* Cooperative deadline: the fuel budget bounds simulated cycles, so a
+     runaway or stalled job aborts deterministically at the same cycle
+     on every run — the watchdog the supervised harness relies on. *)
+  let fuel_limit = match fuel with Some f -> f | None -> max_int in
   while not (finished ()) do
+    if !now >= fuel_limit then
+      Util.Err.failf Timeout
+        "simulation fuel exhausted: %d cycles simulated, %d events pulled, \
+         %d committed"
+        !now !pulled !committed_total;
     if !now > (!pulled * 300) + 1_000_000 then
       failwith "Cpu.run: deadlock (cycle guard exceeded)";
     do_commit !now;
@@ -828,7 +840,7 @@ let run_stream ?(warm = true) ?(checks = false) ?on_commit (cfg : Config.t)
     efetch_correct = Efetch.correct efetch;
   }
 
-let run ?warm ?checks ?on_commit (cfg : Config.t) (trace : Prog.Trace.t) :
-    Stats.t =
-  run_stream ?warm ?checks ?on_commit cfg (fun () ->
+let run ?warm ?checks ?fuel ?on_commit (cfg : Config.t) (trace : Prog.Trace.t)
+    : Stats.t =
+  run_stream ?warm ?checks ?fuel ?on_commit cfg (fun () ->
       Prog.Trace.Stream.of_trace trace)

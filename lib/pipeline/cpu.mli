@@ -34,6 +34,7 @@ type source = unit -> Prog.Trace.Stream.cursor
 val run_stream :
   ?warm:bool ->
   ?checks:bool ->
+  ?fuel:int ->
   ?on_commit:(commit -> unit) ->
   Config.t ->
   source ->
@@ -60,6 +61,13 @@ val run_stream :
     invariant.  Used by the differential test harness; costs a few
     percent of runtime.
 
+    [fuel] is a cooperative per-run deadline in simulated cycles: when
+    the main loop reaches that cycle the run aborts by raising
+    [Util.Err.Error] with kind [Timeout] (deterministically — the same
+    stream and configuration abort at the same cycle on every host).
+    The warm pass is not fuel-metered; it is linear in the stream.
+    Default: unlimited.  Raises [Invalid_argument] if [fuel <= 0].
+
     [on_commit] observes every ROB retirement in order — the hook the
     oracle differential harness lines up against the golden model's
     commit log. *)
@@ -67,6 +75,7 @@ val run_stream :
 val run :
   ?warm:bool ->
   ?checks:bool ->
+  ?fuel:int ->
   ?on_commit:(commit -> unit) ->
   Config.t ->
   Prog.Trace.t ->

@@ -26,16 +26,26 @@ let to_string (db : Critic_db.t) =
   hist_to_buf buf "chain_gaps" db.chain_gaps;
   Buffer.contents buf
 
-let parse_int_list s =
-  if s = "" then []
-  else String.split_on_char ',' s |> List.map int_of_string
-
-let of_string text =
+let of_string ?path text =
   let lines = String.split_on_char '\n' text in
-  let fail line msg = failwith (Printf.sprintf "Db_io line %d: %s" line msg) in
+  let where = match path with Some p -> p | None -> "<string>" in
+  let fail line msg =
+    Util.Err.failf Corrupt_input "Db_io %s:%d: %s" where line msg
+  in
   match lines with
   | version :: rest when version = format_version ->
     let lineno = ref 1 in
+    (* Scalar conversions raise bare [Failure _] ("int_of_string", ...);
+       [conv] pins them to the file and line like every other
+       diagnostic. *)
+    let conv f s = try f s with Failure msg -> fail !lineno msg in
+    let int_of_string = conv int_of_string in
+    let float_of_string = conv float_of_string in
+    let bool_of_string = conv bool_of_string in
+    let parse_int_list s =
+      if s = "" then []
+      else String.split_on_char ',' s |> List.map int_of_string
+    in
     let next = ref rest in
     let pop () =
       incr lineno;
@@ -106,17 +116,27 @@ let of_string text =
     let chain_gaps = parse_hist "chain_gaps" in
     { Critic_db.sites; total_work; ic_lengths; ic_spreads; chain_gaps }
   | v :: _ ->
-    failwith
-      (Printf.sprintf "Db_io: unsupported format %S (expected %s)"
-         (if String.length v > 32 then String.sub v 0 32 else v)
-         format_version)
-  | [] -> failwith "Db_io: empty input"
+    Util.Err.failf Corrupt_input "Db_io %s:1: unsupported format %S (expected %s)"
+      where
+      (if String.length v > 32 then String.sub v 0 32 else v)
+      format_version
+  | [] -> Util.Err.failf Corrupt_input "Db_io %s: empty input" where
 
+(* Crash-safe: serialize to [path ^ ".tmp"], flush + close, then rename
+   over the target.  A crash mid-write leaves the previous database (or
+   nothing) plus a stray .tmp — never a truncated file that a later
+   [load] would half-parse. *)
 let save db path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string db))
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     output_string oc (to_string db);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
 
 let load path =
   let ic = open_in path in
@@ -125,4 +145,4 @@ let load path =
     (fun () ->
       let n = in_channel_length ic in
       really_input_string ic n)
-  |> of_string
+  |> of_string ~path

@@ -14,12 +14,18 @@
     [value count] pairs. *)
 
 val save : Critic_db.t -> string -> unit
-(** [save db path] writes the database.  Raises [Sys_error] on I/O
-    failure. *)
+(** [save db path] writes the database atomically: the bytes go to
+    [path ^ ".tmp"], which is closed and then renamed over [path], so a
+    crash mid-write never leaves a truncated database behind.  Raises
+    [Sys_error] on I/O failure (removing the temporary). *)
 
 val load : string -> Critic_db.t
-(** [load path] reads a database written by {!save}.  Raises [Failure]
-    with a line diagnostic on malformed input. *)
+(** [load path] reads a database written by {!save}.  Raises
+    [Util.Err.Error] with kind [Corrupt_input] — naming the file path
+    and line number — on malformed input. *)
 
 val to_string : Critic_db.t -> string
-val of_string : string -> Critic_db.t
+
+val of_string : ?path:string -> string -> Critic_db.t
+(** [path] (default ["<string>"]) labels parse diagnostics with the
+    file the text came from. *)

@@ -172,13 +172,62 @@ let test_db_file_roundtrip () =
       Alcotest.(check int) "sites survive the file" (List.length db.sites)
         (List.length db'.sites))
 
+let corrupt_err f =
+  try
+    ignore (f ());
+    None
+  with Util.Err.Error e -> Some e
+
 let test_db_rejects_garbage () =
-  Alcotest.(check bool) "bad version rejected" true
-    (try ignore (Profiler.Db_io.of_string "not-a-db\n"); false
-     with Failure _ -> true);
+  (match corrupt_err (fun () -> Profiler.Db_io.of_string "not-a-db\n") with
+  | Some e ->
+    Alcotest.(check bool) "bad version is Corrupt_input" true
+      (e.Util.Err.kind = Util.Err.Corrupt_input)
+  | None -> Alcotest.fail "bad version accepted");
   Alcotest.(check bool) "empty rejected" true
-    (try ignore (Profiler.Db_io.of_string ""); false
-     with Failure _ -> true)
+    (corrupt_err (fun () -> Profiler.Db_io.of_string "") <> None)
+
+let test_db_corrupt_file_names_path () =
+  let _, trace = small_ctx () in
+  let db = Profiler.Profile_run.profile trace in
+  let path = Filename.temp_file "critics" ".db" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Profiler.Db_io.save db path;
+      (* Truncate the file as a crashed non-atomic writer would. *)
+      let text = In_channel.with_open_bin path In_channel.input_all in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (Workload.Fault.truncate_string text));
+      match corrupt_err (fun () -> Profiler.Db_io.load path) with
+      | None -> Alcotest.fail "truncated database accepted"
+      | Some e ->
+        Alcotest.(check bool) "kind is Corrupt_input" true
+          (e.Util.Err.kind = Util.Err.Corrupt_input);
+        Alcotest.(check bool) "message names the file path" true
+          (let msg = e.Util.Err.msg in
+           let plen = String.length path in
+           let rec contains i =
+             if i + plen > String.length msg then false
+             else String.sub msg i plen = path || contains (i + 1)
+           in
+           contains 0))
+
+let test_db_save_atomic () =
+  let _, trace = small_ctx () in
+  let db = Profiler.Profile_run.profile trace in
+  let path = Filename.temp_file "critics" ".db" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      (* Overwriting an existing database must go through the rename
+         path and leave no temporary behind. *)
+      Profiler.Db_io.save db path;
+      Profiler.Db_io.save db path;
+      Alcotest.(check bool) "no stray .tmp" false
+        (Sys.file_exists (path ^ ".tmp"));
+      Alcotest.(check int) "content intact" (List.length db.sites)
+        (List.length (Profiler.Db_io.load path).sites))
 
 (* ------------------------------ Metric ----------------------------- *)
 
@@ -280,6 +329,9 @@ let () =
           Alcotest.test_case "string roundtrip" `Quick test_db_roundtrip;
           Alcotest.test_case "file roundtrip" `Quick test_db_file_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick test_db_rejects_garbage;
+          Alcotest.test_case "corrupt file names path" `Quick
+            test_db_corrupt_file_names_path;
+          Alcotest.test_case "save is atomic" `Quick test_db_save_atomic;
           QCheck_alcotest.to_alcotest prop_db_io_roundtrip;
         ] );
       ( "metric",

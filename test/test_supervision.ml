@@ -1,0 +1,381 @@
+(* Tests for the supervision layer: fault containment, retry with
+   bounded backoff, quarantine, fuel and wall-clock deadlines, the
+   batch journal, and the end-to-end acceptance property — a seeded
+   fault plan over the full 26-app batch produces exactly the planned
+   failures while every surviving artifact is bit-identical to a
+   fault-free run, at jobs = 1 and jobs = 4. *)
+
+module H = Experiments.Harness
+module Fault = Workload.Fault
+
+let test_instrs = 2_000
+
+let mk_harness ?(jobs = 1) () = H.create ~instrs:test_instrs ~jobs ()
+
+(* A fast policy for tests: no backoff sleeps. *)
+let policy = H.default_policy
+
+let app_names profiles = List.map (fun (p : Workload.Profile.t) -> p.name) profiles
+
+let small_apps n =
+  List.filteri (fun i _ -> i < n) Workload.Apps.mobile
+
+let report_for batch app =
+  List.find (fun (r : H.job_report) -> r.report_app = app) batch.H.reports
+
+let outcome_kind (o : H.outcome) =
+  Option.map (fun (e : Util.Err.t) -> e.kind) (H.outcome_err o)
+
+let stats_digest st = Digest.to_hex (Digest.string (Marshal.to_string st []))
+
+(* ------------------------- fault plan ------------------------------ *)
+
+let test_plan_deterministic () =
+  let apps = app_names Workload.Apps.mobile in
+  let p1 = Fault.plan ~seed:42 ~raise_fatal:2 ~stall:1 ~corrupt_db:1 apps in
+  let p2 = Fault.plan ~seed:42 ~raise_fatal:2 ~stall:1 ~corrupt_db:1 apps in
+  Alcotest.(check (list (pair string string)))
+    "same seed, same victims"
+    (List.map (fun (a, x) -> (a, Fault.action_name x)) (Fault.victims p1))
+    (List.map (fun (a, x) -> (a, Fault.action_name x)) (Fault.victims p2));
+  let p3 = Fault.plan ~seed:43 ~raise_fatal:2 ~stall:1 ~corrupt_db:1 apps in
+  Alcotest.(check bool) "different seed, different victims" false
+    (Fault.victims p1 = Fault.victims p3);
+  Alcotest.(check int) "victim count" 4 (List.length (Fault.victims p1));
+  (* victims are distinct apps *)
+  let names = List.map fst (Fault.victims p1) in
+  Alcotest.(check int) "victims distinct"
+    (List.length names)
+    (List.length (List.sort_uniq String.compare names));
+  Alcotest.check_raises "too many victims rejected"
+    (Invalid_argument "Fault.plan: 3 victims requested from 2 candidates")
+    (fun () -> ignore (Fault.plan ~seed:0 ~raise_fatal:3 [ "a"; "b" ]))
+
+(* ------------------------- retry / quarantine ---------------------- *)
+
+let test_retry_then_succeed () =
+  let apps = small_apps 3 in
+  let victim = (List.hd apps).name in
+  let faults =
+    Fault.plan ~seed:5 ~raise_transient:1 ~transient_failures:2
+      [ victim ]
+  in
+  let h = mk_harness () in
+  let batch =
+    H.run_batch_supervised ~policy ~faults h
+      (List.map (fun p -> H.job p Critics.Scheme.Critic) apps)
+  in
+  Alcotest.(check int) "all jobs complete" 3 batch.H.completed;
+  Alcotest.(check int) "three rounds (two retries)" 3 batch.H.rounds;
+  let r = report_for batch victim in
+  Alcotest.(check bool) "victim completed" true
+    (r.report_outcome = H.Completed);
+  Alcotest.(check int) "victim needed three attempts" 3 r.report_attempts;
+  List.iter
+    (fun (p : Workload.Profile.t) ->
+      if p.name <> victim then
+        Alcotest.(check int) "non-victim ran once" 1
+          (report_for batch p.name).report_attempts)
+    apps
+
+let test_retries_exhausted () =
+  let apps = small_apps 2 in
+  let victim = (List.hd apps).name in
+  (* fails more times than the policy grants attempts *)
+  let faults =
+    Fault.plan ~seed:5 ~raise_transient:1 ~transient_failures:10 [ victim ]
+  in
+  let h = mk_harness () in
+  let batch =
+    H.run_batch_supervised
+      ~policy:{ policy with retries = 1; quarantine_after = 10 }
+      ~faults h
+      (List.map (fun p -> H.job p Critics.Scheme.Critic) apps)
+  in
+  let r = report_for batch victim in
+  (match r.report_outcome with
+  | H.Failed e ->
+    Alcotest.(check bool) "kind transient" true (e.kind = Util.Err.Transient);
+    Alcotest.(check int) "attempts recorded" 2 e.attempts;
+    Alcotest.(check bool) "app in context" true (e.app = Some victim)
+  | o -> Alcotest.failf "expected Failed, got %s" (H.outcome_name o));
+  Alcotest.(check int) "bystander completed" 1 batch.H.completed
+
+let test_quarantine_after_n () =
+  let apps = small_apps 3 in
+  let victim = (List.hd apps).name in
+  let faults =
+    Fault.plan ~seed:9 ~raise_transient:1 ~transient_failures:100 [ victim ]
+  in
+  let h = mk_harness () in
+  (* generous retries, tight quarantine: the app must be cut off by the
+     quarantine threshold, not by retry exhaustion *)
+  let batch =
+    H.run_batch_supervised
+      ~policy:{ policy with retries = 50; quarantine_after = 2 }
+      ~faults h
+      (List.map (fun p -> H.job p Critics.Scheme.Critic) apps)
+  in
+  let r = report_for batch victim in
+  (match r.report_outcome with
+  | H.Quarantined e ->
+    Alcotest.(check bool) "classified cancelled or transient" true
+      (e.kind = Util.Err.Transient || e.kind = Util.Err.Cancelled)
+  | o -> Alcotest.failf "expected Quarantined, got %s" (H.outcome_name o));
+  Alcotest.(check int) "quarantined at the threshold" 2 r.report_attempts;
+  Alcotest.(check int) "others completed" 2 batch.H.completed
+
+let test_fuel_deadline () =
+  let apps = small_apps 2 in
+  let h = mk_harness () in
+  let batch =
+    H.run_batch_supervised
+      ~policy:{ policy with fuel = Some 64 }
+      h
+      (List.map (fun p -> H.job p Critics.Scheme.Critic) apps)
+  in
+  Alcotest.(check int) "nothing completes under 64 cycles of fuel" 0
+    batch.H.completed;
+  List.iter
+    (fun (r : H.job_report) ->
+      Alcotest.(check (option bool)) "timeout kind" (Some true)
+        (Option.map
+           (fun k -> k = Util.Err.Timeout)
+           (outcome_kind r.report_outcome));
+      Alcotest.(check int) "timeouts are not retried" 1 r.report_attempts)
+    batch.H.failures
+
+let test_wall_deadline () =
+  let apps = small_apps 3 in
+  let h = mk_harness () in
+  let batch =
+    H.run_batch_supervised
+      ~policy:{ policy with wall_deadline_s = Some 0.0 }
+      h
+      (List.map (fun p -> H.job p Critics.Scheme.Critic) apps)
+  in
+  Alcotest.(check int) "no job ran" 0 batch.H.completed;
+  Alcotest.(check int) "no dispatch round" 0 batch.H.rounds;
+  List.iter
+    (fun (r : H.job_report) ->
+      match r.report_outcome with
+      | H.Skipped e ->
+        Alcotest.(check bool) "cancelled" true (e.kind = Util.Err.Cancelled)
+      | o -> Alcotest.failf "expected Skipped, got %s" (H.outcome_name o))
+    batch.H.reports
+
+let test_backoff_deterministic_and_bounded () =
+  let p =
+    { policy with backoff_ms = 10.0; backoff_max_ms = 35.0; backoff_seed = 7 }
+  in
+  let d1 = H.backoff_delay_s p ~round:1 in
+  let d2 = H.backoff_delay_s p ~round:2 in
+  Alcotest.(check (float 0.0)) "same round, same delay" d1
+    (H.backoff_delay_s p ~round:1);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "positive" true (d > 0.0);
+      Alcotest.(check bool) "capped" true (d <= 0.035))
+    [ d1; d2; H.backoff_delay_s p ~round:8 ];
+  Alcotest.(check (float 0.0)) "zero base disables waiting" 0.0
+    (H.backoff_delay_s { p with backoff_ms = 0.0 } ~round:3)
+
+(* ------------------------------ journal ---------------------------- *)
+
+let entry id ms : Experiments.Journal.entry =
+  { entry_id = id; wall_ms = ms; major_words = 123.0; top_heap_words = 456 }
+
+let test_journal_roundtrip () =
+  let e = entry "tab1" 17.5 in
+  (match Experiments.Journal.of_line (Experiments.Journal.to_line e) with
+  | Some e' ->
+    Alcotest.(check string) "id" e.entry_id e'.entry_id;
+    Alcotest.(check (float 0.11)) "wall" e.wall_ms e'.wall_ms;
+    Alcotest.(check int) "heap" e.top_heap_words e'.top_heap_words
+  | None -> Alcotest.fail "journal line does not parse back");
+  Alcotest.(check bool) "garbage line rejected" true
+    (Experiments.Journal.of_line "{ not json" = None)
+
+let test_journal_file_and_truncation () =
+  let path = Filename.temp_file "critics" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Experiments.Journal.reset path;
+      Alcotest.(check (list string)) "fresh journal is empty" []
+        (Experiments.Journal.completed_ids path);
+      Experiments.Journal.append path (entry "tab1" 1.0);
+      Experiments.Journal.append path (entry "tab3" 2.0);
+      Experiments.Journal.append path (entry "tab1" 3.0);
+      (* simulate a kill mid-append: a truncated trailing line *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "{ \"id\": \"fig";
+      close_out oc;
+      Alcotest.(check int) "parseable entries survive" 3
+        (List.length (Experiments.Journal.load path));
+      Alcotest.(check (list string)) "ids deduped, first-seen order"
+        [ "tab1"; "tab3" ]
+        (Experiments.Journal.completed_ids path);
+      Experiments.Journal.reset path;
+      Alcotest.(check bool) "reset removes the journal" false
+        (Sys.file_exists path))
+
+(* --------------------- end-to-end containment ---------------------- *)
+
+(* The acceptance property: a seeded plan covering >= 3 fault kinds over
+   the full application set completes reporting exactly the injected
+   failures — with app context — and every surviving artifact is
+   bit-identical (stats digest) to a fault-free run, at jobs = 1 and
+   jobs = 4. *)
+let containment_check ~jobs ~reference =
+  let apps = Workload.Apps.all in
+  let faults =
+    Fault.plan ~seed:11 ~raise_transient:1 ~transient_failures:1 ~raise_fatal:1
+      ~stall:1 ~corrupt_db:1 (app_names apps)
+  in
+  let persistent =
+    List.filter_map
+      (fun (app, a) ->
+        match a with Fault.Raise_transient _ -> None | _ -> Some (app, a))
+      (Fault.victims faults)
+  in
+  let h = mk_harness ~jobs () in
+  let batch =
+    H.run_batch_supervised ~policy ~faults h
+      (List.map (fun p -> H.job p Critics.Scheme.Critic) apps)
+  in
+  (* exactly the persistent victims fail... *)
+  Alcotest.(check (list string))
+    (Printf.sprintf "jobs=%d: failures are exactly the persistent victims"
+       jobs)
+    (List.sort String.compare (List.map fst persistent))
+    (List.sort String.compare
+       (List.map (fun (r : H.job_report) -> r.report_app) batch.H.failures));
+  (* ...with the right classification and context *)
+  List.iter
+    (fun (app, action) ->
+      let r = report_for batch app in
+      let kind = outcome_kind r.report_outcome in
+      let expect =
+        match action with
+        | Fault.Raise_fatal -> Util.Err.Fatal
+        | Fault.Stall -> Util.Err.Timeout
+        | Fault.Corrupt_db -> Util.Err.Corrupt_input
+        | Fault.Raise_transient _ -> assert false
+      in
+      Alcotest.(check (option string))
+        (app ^ " classified")
+        (Some (Util.Err.kind_name expect))
+        (Option.map Util.Err.kind_name kind);
+      match H.outcome_err r.report_outcome with
+      | Some e ->
+        Alcotest.(check (option string)) "err carries app" (Some app) e.app;
+        Alcotest.(check (option string)) "err carries scheme" (Some "critic")
+          e.scheme
+      | None -> Alcotest.fail "failure without error")
+    persistent;
+  (* the transient victim recovered on retry *)
+  List.iter
+    (fun (app, a) ->
+      match a with
+      | Fault.Raise_transient _ ->
+        let r = report_for batch app in
+        Alcotest.(check bool) (app ^ " recovered") true
+          (r.report_outcome = H.Completed);
+        Alcotest.(check bool) (app ^ " was retried") true
+          (r.report_attempts >= 2)
+      | _ -> ())
+    (Fault.victims faults);
+  (* surviving artifacts are bit-identical to the fault-free run *)
+  let survivors =
+    List.filter (fun (p : Workload.Profile.t) ->
+        not (List.mem_assoc p.name persistent))
+      apps
+  in
+  List.iter
+    (fun (p : Workload.Profile.t) ->
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d: %s digest matches fault-free run" jobs
+           p.name)
+        (List.assoc p.name reference)
+        (stats_digest (H.stats h p Critics.Scheme.Critic)))
+    survivors;
+  Alcotest.(check int)
+    (Printf.sprintf "jobs=%d: completion count" jobs)
+    (List.length apps - List.length persistent)
+    batch.H.completed
+
+let test_containment_end_to_end () =
+  (* fault-free reference digests, computed once *)
+  let apps = Workload.Apps.all in
+  let h0 = mk_harness ~jobs:2 () in
+  let batch0 =
+    H.run_batch_supervised ~policy h0
+      (List.map (fun p -> H.job p Critics.Scheme.Critic) apps)
+  in
+  Alcotest.(check int) "fault-free batch completes everything"
+    (List.length apps) batch0.H.completed;
+  Alcotest.(check int) "fault-free batch takes one round" 1 batch0.H.rounds;
+  let reference =
+    List.map
+      (fun (p : Workload.Profile.t) ->
+        (p.name, stats_digest (H.stats h0 p Critics.Scheme.Critic)))
+      apps
+  in
+  containment_check ~jobs:1 ~reference;
+  containment_check ~jobs:4 ~reference
+
+(* ----------------------------- qcheck ------------------------------ *)
+
+(* For any seed, a supervised batch over a seeded fault plan reports
+   exactly the planned persistent failures and completes the
+   complement. *)
+let prop_planned_failures_exact =
+  QCheck.Test.make ~name:"supervised batch fails exactly the planned victims"
+    ~count:6 QCheck.small_nat
+    (fun seed ->
+      let apps = small_apps 6 in
+      let faults =
+        Fault.plan ~seed ~raise_fatal:1 ~stall:1 (app_names apps)
+      in
+      let h = mk_harness () in
+      let batch =
+        H.run_batch_supervised ~policy ~faults h
+          (List.map (fun p -> H.job p Critics.Scheme.Baseline) apps)
+      in
+      let failed =
+        List.sort String.compare
+          (List.map (fun (r : H.job_report) -> r.report_app) batch.H.failures)
+      in
+      failed = List.sort String.compare (List.map fst (Fault.victims faults))
+      && batch.H.completed = List.length apps - 2)
+
+let () =
+  Alcotest.run "supervision"
+    [
+      ( "fault-plan",
+        [ Alcotest.test_case "deterministic" `Quick test_plan_deterministic ] );
+      ( "policy",
+        [
+          Alcotest.test_case "retry then succeed" `Quick test_retry_then_succeed;
+          Alcotest.test_case "retries exhausted" `Quick test_retries_exhausted;
+          Alcotest.test_case "quarantine after N" `Quick test_quarantine_after_n;
+          Alcotest.test_case "fuel deadline" `Quick test_fuel_deadline;
+          Alcotest.test_case "wall deadline" `Quick test_wall_deadline;
+          Alcotest.test_case "backoff deterministic" `Quick
+            test_backoff_deterministic_and_bounded;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "line roundtrip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "file + truncated tail" `Quick
+            test_journal_file_and_truncation;
+        ] );
+      ( "containment",
+        [
+          Alcotest.test_case "end to end, jobs 1 and 4" `Slow
+            test_containment_end_to_end;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_planned_failures_exact ] );
+    ]
