@@ -159,7 +159,30 @@ let git_describe () =
     | _ -> "unknown")
   with _ -> "unknown"
 
-let json_results ~jobs ~total_ms timings =
+(* Per-artifact histogram summaries (telemetry mode): the merged
+   registry of the artifact's job set, histograms only, per-chain-id
+   series elided (one line per chain id would swamp the file). *)
+let telemetry_json registry =
+  let entries =
+    List.filter_map
+      (fun (name, v) ->
+        match v with
+        | Telemetry.Registry.Histogram_v { count; sum; max; p50; p90; p99 }
+          when not
+                 (String.length name >= 9 && String.sub name 0 9 = "chain/id/")
+          ->
+          Some
+            (Printf.sprintf
+               "\"%s\": { \"count\": %d, \"sum\": %d, \"max\": %d, \
+                \"p50\": %d, \"p90\": %d, \"p99\": %d }"
+               (Util.Json.escape_string name)
+               count sum max p50 p90 p99)
+        | _ -> None)
+      (Telemetry.Registry.snapshot registry)
+  in
+  "{ " ^ String.concat ", " entries ^ " }"
+
+let json_results ~jobs ~total_ms ?(telemetry = []) timings =
   let gc = Gc.quick_stat () in
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
@@ -172,11 +195,16 @@ let json_results ~jobs ~total_ms timings =
   Buffer.add_string b "  \"artifacts\": [\n";
   List.iteri
     (fun i t ->
+      let telem =
+        match List.assoc_opt t.id telemetry with
+        | Some json -> Printf.sprintf ", \"telemetry\": %s" json
+        | None -> ""
+      in
       Buffer.add_string b
         (Printf.sprintf
            "    { \"id\": %S, \"wall_ms\": %.1f, \"major_words\": %.0f, \
-            \"top_heap_words\": %d }%s\n"
-           t.id t.wall_ms t.major_words t.top_heap_words
+            \"top_heap_words\": %d%s }%s\n"
+           t.id t.wall_ms t.major_words t.top_heap_words telem
            (if i = List.length timings - 1 then "" else ",")))
     timings;
   Buffer.add_string b "  ]\n}\n";
@@ -199,7 +227,7 @@ let atomic_write path contents =
 let results_path = "BENCH_results.json"
 let journal_path = "BENCH_journal.jsonl"
 
-let tables ~jobs ~resume () =
+let tables ~jobs ~resume ~telemetry () =
   Printf.printf
     "CritICs reproduction — regenerating every table and figure\n\
      (%d work instructions per app run; see EXPERIMENTS.md for the\n\
@@ -219,8 +247,13 @@ let tables ~jobs ~resume () =
   if resume && skip <> [] then
     Printf.eprintf "[bench] resume: skipping %d journaled artifact(s): %s\n%!"
       (List.length skip) (String.concat " " skip);
-  let h = Experiments.Harness.create ~instrs:!instrs ~jobs () in
+  let h =
+    Experiments.Harness.create ~instrs:!instrs ~jobs
+      ?telemetry:(if telemetry then Some 1024 else None)
+      ()
+  in
   let timings = ref [] in
+  let telemetry_summaries = ref [] in
   let failed = ref [] in
   let time id f =
     let g0 = Gc.quick_stat () in
@@ -266,7 +299,14 @@ let tables ~jobs ~resume () =
       (* Graceful degradation: one failing artifact is reported and the
          rest of the batch still completes (and journals). *)
       match time e.id (fun () -> print_string (e.render h)) with
-      | () -> print_newline ()
+      | () ->
+        print_newline ();
+        if telemetry then begin
+          let reg = Experiments.Harness.telemetry_registry_for h (e.jobs ()) in
+          if not (Telemetry.Registry.is_empty reg) then
+            telemetry_summaries :=
+              (e.id, telemetry_json reg) :: !telemetry_summaries
+        end
       | exception exn ->
         let err = Util.Err.of_exn exn in
         failed := (e.id, err) :: !failed;
@@ -294,7 +334,10 @@ let tables ~jobs ~resume () =
     in
     from_journal @ fresh
   in
-  let json = json_results ~jobs ~total_ms merged in
+  let json =
+    json_results ~jobs ~total_ms ~telemetry:(List.rev !telemetry_summaries)
+      merged
+  in
   atomic_write results_path json;
   Printf.eprintf "[bench] jobs=%d total=%.1fs — timings in %s\n" jobs
     (total_ms /. 1000.0) results_path;
@@ -318,7 +361,11 @@ let usage () =
     \              or CRITICS_BENCH_INSTRS)\n\
     \  --resume    skip artifacts already journaled in BENCH_journal.jsonl\n\
     \              (e.g. after a killed run) and merge their recorded\n\
-    \              measurements into BENCH_results.json";
+    \              measurements into BENCH_results.json\n\
+    \  --telemetry attach cycle-attribution probes to every simulation and\n\
+    \              embed per-artifact histogram summaries in\n\
+    \              BENCH_results.json (off by default; stats are\n\
+    \              bit-identical either way)";
   exit 2
 
 let () =
@@ -328,6 +375,7 @@ let () =
   in
   let micro_mode = ref false in
   let resume = ref false in
+  let telemetry = ref false in
   let jobs = ref (Parallel.default_jobs ()) in
   let set_int name r v =
     match int_of_string_opt v with
@@ -341,6 +389,9 @@ let () =
       parse rest
     | "--resume" :: rest ->
       resume := true;
+      parse rest
+    | "--telemetry" :: rest ->
+      telemetry := true;
       parse rest
     | "--jobs" :: n :: rest ->
       set_int "--jobs" jobs n;
@@ -362,4 +413,5 @@ let () =
       usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
-  if !micro_mode then micro () else tables ~jobs:!jobs ~resume:!resume ()
+  if !micro_mode then micro ()
+  else tables ~jobs:!jobs ~resume:!resume ~telemetry:!telemetry ()

@@ -1,0 +1,36 @@
+(* Schema validator for exported Chrome/Perfetto traces, as a
+   standalone binary so CI (and anyone debugging a trace) can check a
+   file without running the test suite:
+
+     validate_trace trace.json
+
+   Exit 0 iff the trace parses and satisfies the exporter's contract —
+   every event carries name/ph/ts/pid/tid, counter and instant tracks
+   are monotonically timestamped, and every async begin has a matching
+   end (see Telemetry.Chrome_trace.validate, which the schema tests
+   exercise on the same code path). *)
+
+let () =
+  match Sys.argv with
+  | [| _; path |] -> (
+    let text =
+      try
+        let ic = open_in_bin path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      with Sys_error msg ->
+        Printf.eprintf "validate_trace: %s\n" msg;
+        exit 2
+    in
+    match Telemetry.Chrome_trace.validate text with
+    | Ok n ->
+      Printf.printf "%s: ok (%d events)\n" path n;
+      exit 0
+    | Error msg ->
+      Printf.eprintf "%s: INVALID: %s\n" path msg;
+      exit 1)
+  | _ ->
+    prerr_endline "usage: validate_trace TRACE.json";
+    exit 2

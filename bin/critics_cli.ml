@@ -370,6 +370,169 @@ let sweep_cmd =
       $ deadline_arg $ quarantine_arg $ seed_arg $ transient_arg $ fatal_arg
       $ stall_arg $ corrupt_arg $ expect_arg)
 
+(* ------------------------------- trace ---------------------------- *)
+
+let parse_scheme name =
+  match Critics.Scheme.of_string name with
+  | Some s -> s
+  | None ->
+    prerr_endline ("unknown scheme " ^ name);
+    exit 1
+
+let window_arg =
+  let doc = "Telemetry attribution window in cycles." in
+  Arg.(value & opt int 1024 & info [ "window" ] ~docv:"CYCLES" ~doc)
+
+let app_opt_arg =
+  let doc = "Application name (see `critics apps' for the list)." in
+  Arg.(required & opt (some string) None & info [ "app" ] ~docv:"APP" ~doc)
+
+let trace_cmd =
+  let scheme_arg =
+    let doc =
+      "Scheme: "
+      ^ String.concat ", " (List.map Critics.Scheme.name Critics.Scheme.all)
+    in
+    Arg.(value & opt string "critic" & info [ "scheme" ] ~doc)
+  in
+  let out_arg =
+    let doc = "Write the Chrome/Perfetto trace-event JSON to $(docv)." in
+    Arg.(value & opt string "trace.json" & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let events_arg =
+    let doc =
+      "Trace ring capacity in events; the oldest events are dropped once \
+       it fills, keeping memory bounded."
+    in
+    Arg.(value & opt int 65536 & info [ "events" ] ~docv:"N" ~doc)
+  in
+  let run app scheme instrs window out events =
+    let profile = or_die (lookup_app app) in
+    let scheme = parse_scheme scheme in
+    let ctx = Critics.Run.prepare ~instrs profile in
+    let trace = Telemetry.Chrome_trace.create ~capacity:events () in
+    let probe = Telemetry.Probe.create ~window ~trace () in
+    let st = Critics.Run.stats ~probe ctx scheme in
+    Telemetry.Chrome_trace.write_file trace out;
+    Printf.printf
+      "%s / %s: %d cycles, %d committed; %d trace events (%d dropped) -> %s\n"
+      profile.name
+      (Critics.Scheme.name scheme)
+      st.Pipeline.Stats.cycles st.committed_total
+      (Telemetry.Chrome_trace.length trace)
+      (Telemetry.Chrome_trace.dropped trace)
+      out;
+    Printf.printf "open in https://ui.perfetto.dev or chrome://tracing\n"
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Export a Chrome/Perfetto trace of one run: per-stage \
+          cycle-attribution counter tracks, one async span per CritIC \
+          chain instance, instant events for faults")
+    Term.(
+      const run $ app_opt_arg $ scheme_arg $ instrs_arg $ window_arg
+      $ out_arg $ events_arg)
+
+(* ------------------------------- report --------------------------- *)
+
+let report_cmd =
+  let schemes_arg =
+    let doc =
+      "Comma-separated schemes to report (default: \
+       baseline,critic,opp16+critic)."
+    in
+    Arg.(
+      value
+      & opt string "baseline,critic,opp16+critic"
+      & info [ "schemes" ] ~doc)
+  in
+  let run app instrs window schemes =
+    let profile = or_die (lookup_app app) in
+    let schemes =
+      List.map parse_scheme (String.split_on_char ',' schemes)
+    in
+    let ctx = Critics.Run.prepare ~instrs profile in
+    let runs =
+      List.map
+        (fun scheme ->
+          let probe = Telemetry.Probe.create ~window () in
+          let st = Critics.Run.stats ~probe ctx scheme in
+          (scheme, st, probe))
+        schemes
+    in
+    Printf.printf "%s (%d work instructions, window %d cycles)\n\n"
+      profile.name instrs window;
+    (* CPI stacks: per-stage cycles per committed instruction, the
+       paper's Fig. 3 decomposition, one row per scheme. *)
+    let stack_table pop_name pop =
+      let rows =
+        List.map
+          (fun (scheme, (st : Pipeline.Stats.t), probe) ->
+            let t : Telemetry.Probe.stage_totals =
+              Telemetry.Probe.totals probe pop
+            in
+            let per x =
+              if t.count = 0 then "-"
+              else Printf.sprintf "%.3f" (float_of_int x /. float_of_int t.count)
+            in
+            [
+              Critics.Scheme.name scheme;
+              string_of_int st.cycles;
+              string_of_int t.count;
+              per t.fetch_i;
+              per t.fetch_rd;
+              per t.decode;
+              per t.rename;
+              per t.issue_wait;
+              per t.execute;
+              per t.commit_wait;
+            ])
+          runs
+      in
+      Printf.printf "CPI stack — %s population (cycles/instr)\n%s\n" pop_name
+        (Util.Text_table.render
+           ~header:
+             [ "scheme"; "cycles"; "count"; "f.stall_i"; "f.stall_r+d";
+               "decode"; "rename"; "issue"; "execute"; "commit" ]
+           rows)
+    in
+    stack_table "all" Telemetry.Probe.All;
+    stack_table "critical" Telemetry.Probe.Critical;
+    stack_table "chain" Telemetry.Probe.Chain;
+    let chain_rows =
+      List.filter_map
+        (fun (scheme, _, probe) ->
+          let reg = Telemetry.Probe.registry probe in
+          let h = Telemetry.Registry.histogram reg "chain/latency" in
+          if Telemetry.Registry.hist_count h = 0 then None
+          else
+            Some
+              [
+                Critics.Scheme.name scheme;
+                string_of_int (Telemetry.Registry.hist_count h);
+                string_of_int (Telemetry.Registry.quantile h 0.50);
+                string_of_int (Telemetry.Registry.quantile h 0.90);
+                string_of_int (Telemetry.Registry.quantile h 0.99);
+                string_of_int (Telemetry.Registry.hist_max h);
+              ])
+        runs
+    in
+    if chain_rows <> [] then
+      Printf.printf
+        "chain latency — dispatch of first member to commit of last \
+         (cycles)\n%s\n"
+        (Util.Text_table.render
+           ~header:[ "scheme"; "chains"; "p50"; "p90"; "p99"; "max" ]
+           chain_rows)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Print per-population CPI stacks and CritIC chain-latency \
+          quantiles from the cycle-attribution telemetry")
+    Term.(const run $ app_opt_arg $ instrs_arg $ window_arg $ schemes_arg)
+
 (* ------------------------------- check ---------------------------- *)
 
 let check_cmd =
@@ -449,4 +612,4 @@ let () =
        (Cmd.group info
           [ apps_cmd; config_cmd; schemes_cmd; run_cmd; compare_cmd;
             profile_cmd; characterize_cmd; experiment_cmd; sweep_cmd;
-            check_cmd ]))
+            trace_cmd; report_cmd; check_cmd ]))

@@ -121,8 +121,8 @@ let source ctx scheme : Pipeline.Cpu.source = fun () -> stream ctx scheme
 let trace_of ctx scheme =
   Prog.Trace.expand (transformed ctx scheme) ~seed:ctx.seed ctx.path
 
-let stats ?(config = Pipeline.Config.table_i) ?fuel ctx scheme =
-  Pipeline.Cpu.run_stream ?fuel config (source ctx scheme)
+let stats ?(config = Pipeline.Config.table_i) ?fuel ?probe ctx scheme =
+  Pipeline.Cpu.run_stream ?fuel ?probe config (source ctx scheme)
 
 let speedup ~base (st : Pipeline.Stats.t) =
   (float_of_int base.Pipeline.Stats.cycles /. float_of_int st.cycles) -. 1.0

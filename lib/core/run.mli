@@ -70,12 +70,15 @@ val trace_of : app_context -> Scheme.t -> Prog.Trace.t
 val stats :
   ?config:Pipeline.Config.t ->
   ?fuel:int ->
+  ?probe:Telemetry.Probe.t ->
   app_context ->
   Scheme.t ->
   Pipeline.Stats.t
 (** Simulate a scheme (default machine: Table I), streaming.  [fuel]
     bounds the run in simulated cycles; exceeding it raises
-    [Util.Err.Error] with kind [Timeout] (see {!Pipeline.Cpu.run_stream}). *)
+    [Util.Err.Error] with kind [Timeout].  [probe] attaches a telemetry
+    observer; the returned stats are bit-identical with or without one
+    (see {!Pipeline.Cpu.run_stream}). *)
 
 val speedup : base:Pipeline.Stats.t -> Pipeline.Stats.t -> float
 (** Fractional cycle-count improvement over [base] for the same work. *)

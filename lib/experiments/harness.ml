@@ -7,27 +7,32 @@ type job = {
 type t = {
   instrs : int;
   jobs : int;
+  telemetry : int option; (* probe window size; None = probes disabled *)
   pool : Parallel.Pool.t Lazy.t;
   lock : Mutex.t;
   contexts : (string, Critics.Run.app_context) Hashtbl.t;
   results : (string, Pipeline.Stats.t) Hashtbl.t;
+  probes : (string, Telemetry.Probe.t) Hashtbl.t;
 }
 
-let create ?(instrs = Critics.Run.default_instrs) ?jobs () =
+let create ?(instrs = Critics.Run.default_instrs) ?jobs ?telemetry () =
   let jobs =
     max 1 (match jobs with Some j -> j | None -> Parallel.default_jobs ())
   in
   {
     instrs;
     jobs;
+    telemetry;
     pool = lazy (Parallel.Pool.create ~jobs ());
     lock = Mutex.create ();
     contexts = Hashtbl.create 32;
     results = Hashtbl.create 256;
+    probes = Hashtbl.create 256;
   }
 
 let instrs t = t.instrs
 let jobs t = t.jobs
+let telemetry_window t = t.telemetry
 let pool t = Lazy.force t.pool
 
 (* The memoization key depends on the *actual* machine configuration,
@@ -67,6 +72,23 @@ let context t (profile : Workload.Profile.t) =
     Mutex.unlock t.lock;
     ctx
 
+(* The single simulation entry point every memoized path funnels
+   through.  With telemetry enabled it attaches a fresh probe and — only
+   if the run completes — stores it under the same memo key as the
+   stats, first insert winning.  Every job is deterministic, so a lost
+   race stores an identical probe; failed runs (fault injection, fuel)
+   leave neither stats nor probe behind. *)
+let simulate t ?config ?fuel ~key ctx scheme =
+  match t.telemetry with
+  | None -> Critics.Run.stats ?config ?fuel ctx scheme
+  | Some window ->
+    let probe = Telemetry.Probe.create ~window () in
+    let st = Critics.Run.stats ?config ?fuel ~probe ctx scheme in
+    Mutex.lock t.lock;
+    if not (Hashtbl.mem t.probes key) then Hashtbl.replace t.probes key probe;
+    Mutex.unlock t.lock;
+    st
+
 let stats t ?config_name ?config (profile : Workload.Profile.t) scheme =
   ignore config_name;
   let fingerprint =
@@ -82,11 +104,64 @@ let stats t ?config_name ?config (profile : Workload.Profile.t) scheme =
   | Some st -> st
   | None ->
     let ctx = context t profile in
-    let st = Critics.Run.stats ?config ctx scheme in
+    let st = simulate t ?config ~key ctx scheme in
     Mutex.lock t.lock;
     Hashtbl.replace t.results key st;
     Mutex.unlock t.lock;
     st
+
+let probe_for t ?config (profile : Workload.Profile.t) scheme =
+  let fingerprint =
+    match config with
+    | None -> default_fingerprint
+    | Some c -> config_fingerprint c
+  in
+  let key = result_key profile scheme fingerprint in
+  Mutex.lock t.lock;
+  let p = Hashtbl.find_opt t.probes key in
+  Mutex.unlock t.lock;
+  p
+
+let telemetry_probes t =
+  Mutex.lock t.lock;
+  let l = Hashtbl.fold (fun k p acc -> (k, p) :: acc) t.probes [] in
+  Mutex.unlock t.lock;
+  List.sort (fun (a, _) (b, _) -> compare a b) l
+
+let telemetry_registry_for t jobs =
+  let keys =
+    List.filter_map
+      (fun j ->
+        Option.map
+          (fun scheme ->
+            result_key j.job_profile scheme (config_fingerprint j.job_config))
+          j.job_scheme)
+      jobs
+    |> List.sort_uniq compare
+  in
+  let into = Telemetry.Registry.create () in
+  List.iter
+    (fun key ->
+      Mutex.lock t.lock;
+      let p = Hashtbl.find_opt t.probes key in
+      Mutex.unlock t.lock;
+      match p with
+      | Some p ->
+        Telemetry.Registry.merge_into ~into (Telemetry.Probe.registry p)
+      | None -> ())
+    keys;
+  into
+
+let telemetry_registry t =
+  let into = Telemetry.Registry.create () in
+  (* Sorted memo-key order: the aggregate is independent of the pool's
+     completion order by construction (and merge is order-insensitive
+     anyway — the qcheck suite checks both). *)
+  List.iter
+    (fun (_, p) ->
+      Telemetry.Registry.merge_into ~into (Telemetry.Probe.registry p))
+    (telemetry_probes t);
+  into
 
 let speedup t ?config_name ?config profile scheme =
   let base = stats t profile Critics.Scheme.Baseline in
@@ -171,7 +246,7 @@ let run_batch t jobs =
     Parallel.Pool.map_list ~chunk:1 (pool t)
       (fun (key, j, scheme) ->
         let ctx = context t j.job_profile in
-        (key, Critics.Run.stats ~config:j.job_config ctx scheme))
+        (key, simulate t ~config:j.job_config ~key ctx scheme))
       dedup
   in
   Mutex.lock t.lock;
@@ -276,7 +351,7 @@ let supervised_exec t (policy : policy) faults j ~attempt =
     | Some _ -> ()
     | None ->
       let ctx = context t j.job_profile in
-      let st = Critics.Run.stats ~config:j.job_config ?fuel ctx scheme in
+      let st = simulate t ~config:j.job_config ?fuel ~key ctx scheme in
       Mutex.lock t.lock;
       if not (Hashtbl.mem t.results key) then Hashtbl.replace t.results key st;
       Mutex.unlock t.lock)

@@ -17,18 +17,26 @@
 
 type t
 
-val create : ?instrs:int -> ?jobs:int -> unit -> t
+val create : ?instrs:int -> ?jobs:int -> ?telemetry:int -> unit -> t
 (** [instrs] is the work-instruction budget per application run
     (default {!Critics.Run.default_instrs}).  [jobs] is the parallelism
     width for {!run_batch} (default {!Parallel.default_jobs}: the
     [CRITICS_JOBS] environment variable, else
     [Domain.recommended_domain_count ()]); [jobs = 1] never spawns a
-    domain and evaluates everything sequentially in the caller. *)
+    domain and evaluates everything sequentially in the caller.
+    [telemetry] enables cycle-attribution probes on every simulation
+    the harness runs, with the given window size in cycles; the probes
+    are memoized alongside the stats ({!probe_for}) and their registries
+    merge deterministically ({!telemetry_registry}).  Simulation results
+    are bit-identical with telemetry on or off. *)
 
 val instrs : t -> int
 
 val jobs : t -> int
 (** Parallelism width this harness was created with. *)
+
+val telemetry_window : t -> int option
+(** The probe window size, or [None] when telemetry is disabled. *)
 
 val pool : t -> Parallel.Pool.t
 (** The harness's domain pool, for experiment modules that parallelize
@@ -61,6 +69,27 @@ val speedup :
 (** Speedup of (scheme, config) over (Baseline, default config) for the
     same application and work. *)
 
+(** {2 Telemetry} *)
+
+val probe_for :
+  t ->
+  ?config:Pipeline.Config.t ->
+  Workload.Profile.t ->
+  Critics.Scheme.t ->
+  Telemetry.Probe.t option
+(** The probe memoized for (app, scheme, config), if the harness has
+    telemetry enabled and that simulation has run.  Like the stats memo,
+    the first completed run wins; failed runs store nothing. *)
+
+val telemetry_probes : t -> (string * Telemetry.Probe.t) list
+(** Every memoized probe with its memo key, sorted by key — a
+    deterministic enumeration regardless of pool completion order. *)
+
+val telemetry_registry : t -> Telemetry.Registry.t
+(** All probe registries merged, in sorted-key order.  Because registry
+    merge is commutative and associative, the aggregate is identical at
+    every [jobs] width and job submission order. *)
+
 (** {2 Batch evaluation} *)
 
 type job
@@ -81,6 +110,11 @@ val run_batch : t -> job list -> unit
     in parallel, then all missing simulations in parallel.  Duplicate
     and already-cached jobs are skipped.  Subsequent {!stats} /
     {!context} calls are cache hits. *)
+
+val telemetry_registry_for : t -> job list -> Telemetry.Registry.t
+(** The probe registries of the given jobs' memo keys merged (duplicate
+    keys counted once, sorted-key order) — how bench scopes histogram
+    summaries to one artifact's job set. *)
 
 (** {2 Supervised batch evaluation}
 

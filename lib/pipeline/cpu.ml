@@ -102,7 +102,7 @@ let dummy_event : Prog.Trace.event =
     fetch_break = false;
   }
 
-let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit
+let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit ?probe
     (cfg : Config.t) (source : source) : Stats.t =
   (match fuel with
   | Some f when f <= 0 -> invalid_arg "Cpu.run_stream: fuel must be positive"
@@ -313,16 +313,20 @@ let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit
 
   let is_critical s = s.fanout >= cfg.fanout_critical_threshold in
 
-  let record acc (s : slot) =
+  (* Stage attribution is computed once per retirement (the same
+     arithmetic that used to live in [record], hoisted so the telemetry
+     probe observes the very numbers the accumulators sum — keeping
+     [Stats.t] bit-identical with the probe on or off). *)
+  let record acc ~fetch_i ~fetch_rd ~decode ~issue_wait ~execute ~commit_wait
+      =
     acc.count <- acc.count + 1;
-    acc.fetch_i <- acc.fetch_i + s.stall_i;
-    acc.fetch_rd <-
-      acc.fetch_rd + s.stall_bp + imax 0 (s.decoded - s.fetched - 1);
-    acc.decode <- acc.decode + imax 0 (s.renamed - s.decoded);
+    acc.fetch_i <- acc.fetch_i + fetch_i;
+    acc.fetch_rd <- acc.fetch_rd + fetch_rd;
+    acc.decode <- acc.decode + decode;
     acc.rename <- acc.rename + 1;
-    acc.issue_wait <- acc.issue_wait + imax 0 (s.issued - s.renamed - 1);
-    acc.execute <- acc.execute + imax 0 (s.completed - s.issued);
-    acc.commit_wait <- acc.commit_wait + imax 0 (s.committed - s.completed)
+    acc.issue_wait <- acc.issue_wait + issue_wait;
+    acc.execute <- acc.execute + execute;
+    acc.commit_wait <- acc.commit_wait + commit_wait
   in
 
   let retire now (s : slot) =
@@ -360,12 +364,47 @@ let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit
     if is_work then incr committed_work;
     if s.ev.instr.encoding = Isa.Instr.Thumb16 then incr thumb_committed;
     Criticality_table.train crit_table ~pc:s.ev.pc ~fanout:s.fanout;
-    record acc_all s;
-    if is_critical s then begin
+    let fetch_i = s.stall_i in
+    let fetch_rd = s.stall_bp + imax 0 (s.decoded - s.fetched - 1) in
+    let decode = imax 0 (s.renamed - s.decoded) in
+    let issue_wait = imax 0 (s.issued - s.renamed - 1) in
+    let execute = imax 0 (s.completed - s.issued) in
+    let commit_wait = imax 0 (s.committed - s.completed) in
+    let critical = is_critical s in
+    record acc_all ~fetch_i ~fetch_rd ~decode ~issue_wait ~execute
+      ~commit_wait;
+    if critical then begin
       incr critical_count;
-      record acc_crit s
+      record acc_crit ~fetch_i ~fetch_rd ~decode ~issue_wait ~execute
+        ~commit_wait
     end;
-    if s.ev.instr.chain <> None then record acc_chain s
+    if s.ev.instr.chain <> None then
+      record acc_chain ~fetch_i ~fetch_rd ~decode ~issue_wait ~execute
+        ~commit_wait;
+    match probe with
+    | None -> ()
+    | Some p ->
+      let chain_id, chain_pos, chain_len =
+        match s.ev.instr.chain with
+        | Some (c : Isa.Instr.chain_tag) -> (c.chain_id, c.pos, c.len)
+        | None -> (-1, 0, 0)
+      in
+      Telemetry.Probe.retire p
+        {
+          cycle = now;
+          critical;
+          chain_id;
+          chain_pos;
+          chain_len;
+          dispatch = s.renamed;
+          fetch_i;
+          fetch_rd;
+          decode;
+          rename = 1;
+          issue_wait;
+          execute;
+          commit_wait;
+        }
   in
 
   (* ---------------- pipeline stages, one call each per cycle ------- *)
@@ -620,7 +659,12 @@ let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit
             s.completed <- now;
             s.committed <- now;
             incr cdp_markers;
-            incr committed_total
+            incr committed_total;
+            match probe with
+            | Some p ->
+              Telemetry.Probe.cdp_marker p ~cycle:now
+                ~penalty:cfg.cdp_decode_penalty
+            | None -> ()
           end
           else Queue.add s decode_q
         end
@@ -778,11 +822,17 @@ let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit
      on every run — the watchdog the supervised harness relies on. *)
   let fuel_limit = match fuel with Some f -> f | None -> max_int in
   while not (finished ()) do
-    if !now >= fuel_limit then
+    if !now >= fuel_limit then begin
+      (match probe with
+      | Some p ->
+        Telemetry.Probe.fault p ~cycle:!now ~kind:"fuel_exhausted";
+        Telemetry.Probe.finish p ~cycles:!now
+      | None -> ());
       Util.Err.failf Timeout
         "simulation fuel exhausted: %d cycles simulated, %d events pulled, \
          %d committed"
-        !now !pulled !committed_total;
+        !now !pulled !committed_total
+    end;
     if !now > (!pulled * 300) + 1_000_000 then
       failwith "Cpu.run: deadlock (cycle guard exceeded)";
     do_commit !now;
@@ -816,8 +866,32 @@ let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit
       invariant_fail
         "fetch accounting: %d live cycles <> %d active + %d supply-stall + \
          %d backpressure-stall"
-        !fetch_live !fetch_active !idle_supply !idle_backpressure
+        !fetch_live !fetch_active !idle_supply !idle_backpressure;
+    (* Telemetry accounting contract: the probe's running totals must
+       reproduce the stage accumulators field-for-field. *)
+    match probe with
+    | None -> ()
+    | Some p ->
+      let check_pop name pop (a : acc) =
+        let t : Telemetry.Probe.stage_totals = Telemetry.Probe.totals p pop in
+        if
+          t.count <> a.count || t.fetch_i <> a.fetch_i
+          || t.fetch_rd <> a.fetch_rd || t.decode <> a.decode
+          || t.rename <> a.rename || t.issue_wait <> a.issue_wait
+          || t.execute <> a.execute || t.commit_wait <> a.commit_wait
+        then
+          invariant_fail
+            "telemetry totals diverge from stage accounting for the %s \
+             population (probe count %d vs %d)"
+            name t.count a.count
+      in
+      check_pop "all" Telemetry.Probe.All acc_all;
+      check_pop "critical" Telemetry.Probe.Critical acc_crit;
+      check_pop "chain" Telemetry.Probe.Chain acc_chain
   end;
+  (match probe with
+  | Some p -> Telemetry.Probe.finish p ~cycles:!now
+  | None -> ());
 
   {
     Stats.cycles = !now;
@@ -840,7 +914,7 @@ let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit
     efetch_correct = Efetch.correct efetch;
   }
 
-let run ?warm ?checks ?fuel ?on_commit (cfg : Config.t) (trace : Prog.Trace.t)
-    : Stats.t =
-  run_stream ?warm ?checks ?fuel ?on_commit cfg (fun () ->
+let run ?warm ?checks ?fuel ?on_commit ?probe (cfg : Config.t)
+    (trace : Prog.Trace.t) : Stats.t =
+  run_stream ?warm ?checks ?fuel ?on_commit ?probe cfg (fun () ->
       Prog.Trace.Stream.of_trace trace)

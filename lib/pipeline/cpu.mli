@@ -36,6 +36,7 @@ val run_stream :
   ?checks:bool ->
   ?fuel:int ->
   ?on_commit:(commit -> unit) ->
+  ?probe:Telemetry.Probe.t ->
   Config.t ->
   source ->
   Stats.t
@@ -70,13 +71,24 @@ val run_stream :
 
     [on_commit] observes every ROB retirement in order — the hook the
     oracle differential harness lines up against the golden model's
-    commit log. *)
+    commit log.
+
+    [probe] attaches a {!Telemetry.Probe}: it is fed one record per ROB
+    retirement (with the exact stage-attribution values the stage
+    accumulators sum), one notification per CDP marker consumed at
+    decode, and a fault notification if the fuel watchdog trips; its
+    windows are flushed before the function returns.  The probe is
+    purely observational — the returned [Stats.t] is bit-identical with
+    or without one attached — and with [checks] on, the end-of-run
+    identities additionally assert that the probe's running totals equal
+    the stage accumulators for all three populations. *)
 
 val run :
   ?warm:bool ->
   ?checks:bool ->
   ?fuel:int ->
   ?on_commit:(commit -> unit) ->
+  ?probe:Telemetry.Probe.t ->
   Config.t ->
   Prog.Trace.t ->
   Stats.t

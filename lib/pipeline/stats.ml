@@ -26,8 +26,12 @@ let summary_total s =
   + s.commit_wait
 
 let summary_shares s =
-  let total = float_of_int (max 1 (summary_total s)) in
-  let f x = float_of_int x /. total in
+  (* An empty population (e.g. no CritIC-tagged instructions under
+     Baseline) has nothing to normalize by: report all-zero shares
+     rather than dividing by zero. *)
+  let total = summary_total s in
+  let f = if total = 0 then fun _ -> 0.0 else
+      fun x -> float_of_int x /. float_of_int total in
   [
     ("fetch.stall_for_i", f s.fetch_i);
     ("fetch.stall_for_r+d", f s.fetch_rd);

@@ -26,7 +26,8 @@ val summary_total : stage_summary -> int
 (** Sum of all stage cycles. *)
 
 val summary_shares : stage_summary -> (string * float) list
-(** Normalized per-stage shares, in pipeline order. *)
+(** Normalized per-stage shares, in pipeline order.  An empty population
+    (zero total stage cycles) yields all-zero shares. *)
 
 type t = {
   cycles : int;

@@ -88,6 +88,15 @@ let schemes =
     Critics.Scheme.Baseline; Critics.Scheme.Critic; Critics.Scheme.Opp16_critic;
   ]
 
+(* CRITICS_TELEMETRY=1 re-runs the whole suite with a cycle-attribution
+   probe attached to every simulation.  The digests must not change:
+   the probe is observational, and this is the proof at golden-contract
+   strength.  CI runs the suite both ways. *)
+let probe () =
+  match Sys.getenv_opt "CRITICS_TELEMETRY" with
+  | None | Some "" | Some "0" -> None
+  | Some _ -> Some (Telemetry.Probe.create ~window:256 ())
+
 let cases () =
   List.concat_map
     (fun app ->
@@ -102,7 +111,7 @@ let cases () =
               ( app,
                 Critics.Scheme.name scheme,
                 cname,
-                digest (Critics.Run.stats ~config ctx scheme) ))
+                digest (Critics.Run.stats ~config ?probe:(probe ()) ctx scheme) ))
             Oracle.Differential.configs)
         schemes)
     [ "Acrobat"; "Music"; "lbm" ]

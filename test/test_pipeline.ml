@@ -186,6 +186,16 @@ let test_stage_accounting_consistent () =
        -. 1.0)
     < 1e-9)
 
+(* An empty population (e.g. the chain population of an untransformed
+   run) must yield all-zero shares, not a division by zero. *)
+let test_empty_summary_shares () =
+  let shares = Pipeline.Stats.summary_shares Pipeline.Stats.empty_summary in
+  Alcotest.(check int) "one share per stage" 7 (List.length shares);
+  List.iter
+    (fun (stage, v) ->
+      Alcotest.(check (float 0.0)) (stage ^ " share is zero") 0.0 v)
+    shares
+
 let test_criticality_table () =
   let ct = Pipeline.Criticality_table.create ~threshold:4 () in
   Alcotest.(check bool) "cold predicts non-critical" false
@@ -243,6 +253,8 @@ let () =
           Alcotest.test_case "perfect bp" `Quick test_perfect_branch_never_slower;
           Alcotest.test_case "warmup" `Quick test_warm_faster_than_cold;
           Alcotest.test_case "stage accounting" `Quick test_stage_accounting_consistent;
+          Alcotest.test_case "empty-population shares" `Quick
+            test_empty_summary_shares;
           Alcotest.test_case "wrong-path fetch" `Quick test_wrong_path_fetch_pollutes;
         ] );
       ( "components",

@@ -1,0 +1,355 @@
+(* Telemetry observability tests.
+
+   Three contracts are locked down here:
+
+   - the {e accounting contract}: the probe's windowed cycle-attribution
+     samples, summed per population, reproduce the simulator's own
+     [Stats.stage_summary] field for field, for every seed application
+     and scheme, at every harness parallelism width;
+   - {e observational purity}: attaching a probe (and a trace ring)
+     changes neither the returned [Stats.t] nor the commit log, on
+     arbitrary fuzzed programs;
+   - the {e Chrome trace schema}: exported trace JSON parses, validates
+     (per-track monotonic timestamps, paired async spans), survives
+     ring truncation, and a fixed seed reproduces the committed golden
+     trace byte for byte. *)
+
+module H = Experiments.Harness
+module P = Telemetry.Probe
+module R = Telemetry.Registry
+module CT = Telemetry.Chrome_trace
+module F = Workload.Fuzz
+
+let check = Alcotest.(check bool)
+
+(* ------------------------ accounting contract --------------------- *)
+
+let smoke_instrs = 2_500
+let probe_window = 256
+
+let schemes =
+  [
+    Critics.Scheme.Baseline; Critics.Scheme.Critic; Critics.Scheme.Opp16_critic;
+  ]
+
+let all_jobs () =
+  List.concat_map
+    (fun p -> List.map (fun s -> H.job p s) schemes)
+    Workload.Apps.all
+
+let stage_labels =
+  [
+    "count"; "fetch_i"; "fetch_rd"; "decode"; "rename"; "issue_wait";
+    "execute"; "commit_wait";
+  ]
+
+let totals_fields (t : P.stage_totals) =
+  [
+    t.count; t.fetch_i; t.fetch_rd; t.decode; t.rename; t.issue_wait;
+    t.execute; t.commit_wait;
+  ]
+
+let summary_fields (s : Pipeline.Stats.stage_summary) =
+  [
+    s.count; s.fetch_i; s.fetch_rd; s.decode; s.rename; s.issue_wait;
+    s.execute; s.commit_wait;
+  ]
+
+let sample_fields (w : P.window_sample) =
+  [
+    w.w_count; w.w_fetch_i; w.w_fetch_rd; w.w_decode; w.w_rename;
+    w.w_issue_wait; w.w_execute; w.w_commit_wait;
+  ]
+
+let labeled fields = List.combine stage_labels fields
+
+(* Sum of the flushed window samples of one population. *)
+let sum_samples probe pop =
+  List.fold_left
+    (fun acc w ->
+      if w.P.w_pop = pop then List.map2 ( + ) acc (sample_fields w) else acc)
+    [ 0; 0; 0; 0; 0; 0; 0; 0 ]
+    (P.samples probe)
+
+let check_contract h =
+  List.iter
+    (fun (profile : Workload.Profile.t) ->
+      List.iter
+        (fun scheme ->
+          let st = H.stats h profile scheme in
+          let probe =
+            match H.probe_for h profile scheme with
+            | Some p -> p
+            | None ->
+              Alcotest.failf "%s/%s: no probe memoized" profile.name
+                (Critics.Scheme.name scheme)
+          in
+          let pops =
+            [
+              (P.All, st.Pipeline.Stats.stage_all);
+              (P.Critical, st.Pipeline.Stats.stage_critical);
+              (P.Chain, st.Pipeline.Stats.stage_chain);
+            ]
+          in
+          List.iter
+            (fun (pop, summary) ->
+              let label what =
+                Printf.sprintf "%s/%s/%s: %s" profile.name
+                  (Critics.Scheme.name scheme) (P.population_name pop) what
+              in
+              let want = summary_fields summary in
+              Alcotest.(check (list (pair string int)))
+                (label "probe totals = stage summary")
+                (labeled want)
+                (labeled (totals_fields (P.totals probe pop)));
+              Alcotest.(check (list (pair string int)))
+                (label "window samples sum to stage summary")
+                (labeled want)
+                (labeled (sum_samples probe pop)))
+            pops)
+        schemes)
+    Workload.Apps.all
+
+(* Every application x scheme at the smoke budget, through the batch
+   harness at width 1 and width 4.  Both widths must satisfy the
+   accounting contract, and their merged registries must be
+   byte-identical — histogram merge is order-insensitive, so job
+   scheduling order cannot leak into the aggregate. *)
+let test_accounting_contract () =
+  let mk jobs =
+    let h = H.create ~instrs:smoke_instrs ~jobs ~telemetry:probe_window () in
+    H.run_batch h (all_jobs ());
+    h
+  in
+  let h1 = mk 1 in
+  let h4 = mk 4 in
+  check_contract h1;
+  check_contract h4;
+  Alcotest.(check string) "jobs=1 and jobs=4 merged registries agree"
+    (R.to_json (H.telemetry_registry h1))
+    (R.to_json (H.telemetry_registry h4));
+  Alcotest.(check string) "job-scoped aggregate matches the full registry"
+    (R.to_json (H.telemetry_registry h1))
+    (R.to_json (H.telemetry_registry_for h1 (all_jobs ())))
+
+(* --------------------- observational purity ----------------------- *)
+
+let digest_stats (st : Pipeline.Stats.t) =
+  Digest.to_hex (Digest.string (Marshal.to_string st []))
+
+(* One fuzzed run: stats digest + commit-log digest, with runtime
+   invariants armed (which, with a probe attached, also asserts the
+   probe's totals against the simulator's accumulators). *)
+let run_fuzzed ?probe spec =
+  let program = F.build spec in
+  let path = Prog.Walk.path_for_instrs program ~seed:17 ~instrs:300 in
+  let b = Buffer.create 512 in
+  let on_commit (c : Pipeline.Cpu.commit) =
+    Buffer.add_string b (string_of_int c.Pipeline.Cpu.commit_seq);
+    Buffer.add_char b ':';
+    Buffer.add_string b (string_of_int c.Pipeline.Cpu.commit_cycle);
+    Buffer.add_char b ';'
+  in
+  let st =
+    Pipeline.Cpu.run_stream ~checks:true ?probe ~on_commit
+      Pipeline.Config.table_i (fun () ->
+        Prog.Trace.Stream.of_program program ~seed:17 path)
+  in
+  (digest_stats st, Digest.to_hex (Digest.string (Buffer.contents b)))
+
+let prop_probe_is_observational =
+  QCheck.Test.make
+    ~name:"telemetry on vs off: identical stats and commit log" ~count:50
+    F.arbitrary (fun spec ->
+      let off = run_fuzzed spec in
+      let probe =
+        P.create ~window:64 ~trace:(CT.create ~capacity:1024 ()) ()
+      in
+      let on = run_fuzzed ~probe spec in
+      if off <> on then
+        QCheck.Test.fail_reportf
+          "stats or commit log diverged with a probe attached"
+      else true)
+
+(* --------------------- registry merge algebra --------------------- *)
+
+let reg_of_chunk vs =
+  let r = R.create () in
+  let h = R.histogram r "h" in
+  let c = R.counter r "events" in
+  let g = R.gauge r "peak" in
+  List.iter
+    (fun v ->
+      R.observe h v;
+      R.incr c;
+      R.set_max g v)
+    vs;
+  r
+
+let merge_all order chunks =
+  let into = R.create () in
+  List.iter (fun i -> R.merge_into ~into (List.nth chunks i)) order;
+  R.to_json into
+
+let prop_merge_order_insensitive =
+  QCheck.Test.make
+    ~name:"registry merge is associative and order-insensitive" ~count:100
+    QCheck.(small_list (small_list small_nat))
+    (fun chunks_vs ->
+      let chunks = List.map reg_of_chunk chunks_vs in
+      let n = List.length chunks in
+      let fwd = merge_all (List.init n Fun.id) chunks in
+      let rev = merge_all (List.rev (List.init n Fun.id)) chunks in
+      (* Regroup: odd-indexed chunks meet in an intermediate registry
+         that is folded in last — a different association of the same
+         multiset of merges. *)
+      let assoc =
+        let into = R.create () in
+        let mid = R.create () in
+        List.iteri
+          (fun i r ->
+            R.merge_into ~into:(if i mod 2 = 0 then into else mid) r)
+          chunks;
+        R.merge_into ~into mid;
+        R.to_json into
+      in
+      fwd = rev && fwd = assoc)
+
+(* ------------------------ chrome trace schema --------------------- *)
+
+(* Fixed-seed trace: Music under the CritIC scheme exercises every
+   event kind the exporter knows — stage counter tracks, chain async
+   spans — deterministically. *)
+let build_fixed_trace () =
+  let ctx =
+    Critics.Run.prepare ~instrs:2_000
+      (Option.get (Workload.Apps.find "Music"))
+  in
+  let tr = CT.create ~capacity:8192 () in
+  let probe = P.create ~window:64 ~trace:tr () in
+  ignore (Critics.Run.stats ~probe ctx Critics.Scheme.Critic);
+  tr
+
+let test_trace_schema () =
+  let tr = build_fixed_trace () in
+  let json = CT.to_json tr in
+  Alcotest.(check int) "nothing dropped at this capacity" 0 (CT.dropped tr);
+  (match CT.validate json with
+  | Ok n -> Alcotest.(check int) "validated event count" (CT.length tr) n
+  | Error msg -> Alcotest.failf "trace does not validate: %s" msg);
+  let t = Util.Json.parse json in
+  let events = Util.Json.(arr (field "traceEvents" t)) in
+  let phs =
+    List.map (fun e -> Util.Json.(str (field "ph" e))) events
+  in
+  check "has counter samples" true (List.mem "C" phs);
+  check "has async begins" true (List.mem "b" phs);
+  check "has async ends" true (List.mem "e" phs);
+  (* the deterministic printer is a parse fixpoint on its own output *)
+  Alcotest.(check string) "parse . print is the identity" json
+    (Util.Json.to_string t)
+
+let test_validator_rejects () =
+  let reject label text =
+    match CT.validate text with
+    | Ok _ -> Alcotest.failf "%s: accepted invalid trace" label
+    | Error _ -> ()
+  in
+  let wrap evs = {|{"traceEvents":[|} ^ String.concat "," evs ^ "]}" in
+  reject "garbage" "not json at all";
+  reject "missing traceEvents" "{}";
+  reject "unknown phase"
+    (wrap [ {|{"name":"x","ph":"Z","ts":0,"pid":1,"tid":1}|} ]);
+  reject "counter time goes backwards"
+    (wrap
+       [
+         {|{"name":"s","ph":"C","ts":5,"pid":1,"tid":1,"args":{"value":1}}|};
+         {|{"name":"s","ph":"C","ts":3,"pid":1,"tid":1,"args":{"value":1}}|};
+       ]);
+  reject "unmatched async begin"
+    (wrap [ {|{"name":"c","cat":"chain","ph":"b","id":1,"ts":0,"pid":1,"tid":1}|} ]);
+  reject "async end without begin"
+    (wrap [ {|{"name":"c","cat":"chain","ph":"e","id":1,"ts":4,"pid":1,"tid":1}|} ]);
+  reject "async end before its begin"
+    (wrap
+       [
+         {|{"name":"c","cat":"chain","ph":"b","id":1,"ts":9,"pid":1,"tid":1}|};
+         {|{"name":"c","cat":"chain","ph":"e","id":1,"ts":4,"pid":1,"tid":1}|};
+       ]);
+  match
+    CT.validate
+      (wrap
+         [
+           {|{"name":"c","cat":"chain","ph":"b","id":1,"ts":2,"pid":1,"tid":1}|};
+           {|{"name":"c","cat":"chain","ph":"e","id":1,"ts":7,"pid":1,"tid":1}|};
+         ])
+  with
+  | Ok n -> Alcotest.(check int) "well-formed span accepted" 2 n
+  | Error msg -> Alcotest.failf "rejected a valid span: %s" msg
+
+(* Overflowing the ring must stay well-formed: oldest events fall off,
+   [dropped] counts them, and an async end whose begin was truncated is
+   filtered out of the export so the result still validates. *)
+let test_ring_truncation () =
+  let tr = CT.create ~capacity:16 () in
+  CT.async_begin tr ~ts:0 ~name:"chain-0" ~id:0;
+  for ts = 1 to 100 do
+    CT.counter tr ~ts ~name:"stage/execute" ~value:ts
+  done;
+  CT.async_end tr ~ts:200 ~name:"chain-0" ~id:0;
+  check "ring is bounded" true (CT.length tr <= 16);
+  check "overflow counted" true (CT.dropped tr > 0);
+  match CT.validate (CT.to_json tr) with
+  | Ok n -> check "truncated trace still validates" true (n > 0)
+  | Error msg -> Alcotest.failf "truncated trace invalid: %s" msg
+
+let golden_path = "data/golden_trace.json"
+
+(* The fixed-seed trace must reproduce the committed golden file byte
+   for byte ([write_file] appends one newline to the compact JSON).
+   Regenerate after an intentional exporter change with
+   [CRITICS_REGEN_GOLDEN=/abs/path/to/test/data/golden_trace.json]. *)
+let test_golden_trace () =
+  let tr = build_fixed_trace () in
+  let json = CT.to_json tr ^ "\n" in
+  match Sys.getenv_opt "CRITICS_REGEN_GOLDEN" with
+  | Some path when path <> "" ->
+    CT.write_file tr path;
+    Printf.printf "regenerated %s (%d bytes)\n" path (String.length json)
+  | _ ->
+    let ic = open_in_bin golden_path in
+    let want =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    Alcotest.(check int)
+      "golden trace size" (String.length want) (String.length json);
+    check "golden trace bytes identical" true (String.equal want json);
+    (match CT.validate want with
+    | Ok n -> check "golden file validates" true (n > 0)
+    | Error msg -> Alcotest.failf "golden file invalid: %s" msg)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "accounting contract",
+        [
+          Alcotest.test_case "windows sum to stage summaries (26 apps, jobs 1 and 4)"
+            `Slow test_accounting_contract;
+        ] );
+      ( "purity",
+        [
+          QCheck_alcotest.to_alcotest prop_probe_is_observational;
+          QCheck_alcotest.to_alcotest prop_merge_order_insensitive;
+        ] );
+      ( "chrome trace",
+        [
+          Alcotest.test_case "schema" `Quick test_trace_schema;
+          Alcotest.test_case "validator rejects malformed traces" `Quick
+            test_validator_rejects;
+          Alcotest.test_case "ring truncation" `Quick test_ring_truncation;
+          Alcotest.test_case "golden trace byte-identical" `Quick
+            test_golden_trace;
+        ] );
+    ]
