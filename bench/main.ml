@@ -144,6 +144,7 @@ let micro () =
 type artifact_timing = {
   id : string;
   wall_ms : float;
+  minor_words : float;
   major_words : float;
   top_heap_words : int;
 }
@@ -158,6 +159,15 @@ let git_describe () =
     | Unix.WEXITED 0 when line <> "" -> line
     | _ -> "unknown")
   with _ -> "unknown"
+
+(* Provenance split: the "git" field carries the clean description and
+   "dirty" states working-tree state explicitly, so downstream diffing
+   of BENCH_results.json never has to parse a "-dirty" suffix. *)
+let provenance () =
+  let raw = git_describe () in
+  if Filename.check_suffix raw "-dirty" then
+    (Filename.chop_suffix raw "-dirty", true)
+  else (raw, false)
 
 (* Per-artifact histogram summaries (telemetry mode): the merged
    registry of the artifact's job set, histograms only, per-chain-id
@@ -182,16 +192,21 @@ let telemetry_json registry =
   in
   "{ " ^ String.concat ", " entries ^ " }"
 
-let json_results ~jobs ~total_ms ?(telemetry = []) timings =
+let json_results ~jobs ~total_ms ?(telemetry = []) ?cache timings =
   let gc = Gc.quick_stat () in
+  let git, dirty = provenance () in
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b (Printf.sprintf "  \"git\": %S,\n" (git_describe ()));
+  Buffer.add_string b (Printf.sprintf "  \"git\": %S,\n" git);
+  Buffer.add_string b (Printf.sprintf "  \"dirty\": %b,\n" dirty);
   Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" jobs);
   Buffer.add_string b (Printf.sprintf "  \"instrs\": %d,\n" !instrs);
   Buffer.add_string b (Printf.sprintf "  \"total_ms\": %.1f,\n" total_ms);
   Buffer.add_string b
     (Printf.sprintf "  \"top_heap_words\": %d,\n" gc.Gc.top_heap_words);
+  (match cache with
+  | Some json -> Buffer.add_string b (Printf.sprintf "  \"cache\": %s,\n" json)
+  | None -> ());
   Buffer.add_string b "  \"artifacts\": [\n";
   List.iteri
     (fun i t ->
@@ -202,9 +217,9 @@ let json_results ~jobs ~total_ms ?(telemetry = []) timings =
       in
       Buffer.add_string b
         (Printf.sprintf
-           "    { \"id\": %S, \"wall_ms\": %.1f, \"major_words\": %.0f, \
-            \"top_heap_words\": %d%s }%s\n"
-           t.id t.wall_ms t.major_words t.top_heap_words telem
+           "    { \"id\": %S, \"wall_ms\": %.1f, \"minor_words\": %.0f, \
+            \"major_words\": %.0f, \"top_heap_words\": %d%s }%s\n"
+           t.id t.wall_ms t.minor_words t.major_words t.top_heap_words telem
            (if i = List.length timings - 1 then "" else ",")))
     timings;
   Buffer.add_string b "  ]\n}\n";
@@ -247,10 +262,20 @@ let tables ~jobs ~resume ~telemetry () =
   if resume && skip <> [] then
     Printf.eprintf "[bench] resume: skipping %d journaled artifact(s): %s\n%!"
       (List.length skip) (String.concat " " skip);
+  (* Prepared-context store: attached only when CRITICS_CACHE_DIR is
+     set, so a default run stays hermetic and a cache-enabled repeat run
+     skips the prewarm wall (contexts, transforms and completed
+     simulations reload from disk). *)
+  let cache = Store.open_default () in
+  (match cache with
+  | Some st ->
+    Printf.eprintf "[bench] cache: %s (%d entries)\n%!" (Store.dir st)
+      (Store.entry_count st)
+  | None -> ());
   let h =
     Experiments.Harness.create ~instrs:!instrs ~jobs
       ?telemetry:(if telemetry then Some 1024 else None)
-      ()
+      ?store:cache ()
   in
   let timings = ref [] in
   let telemetry_summaries = ref [] in
@@ -265,6 +290,7 @@ let tables ~jobs ~resume ~telemetry () =
       {
         id;
         wall_ms;
+        minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
         major_words = g1.Gc.major_words -. g0.Gc.major_words;
         top_heap_words = g1.Gc.top_heap_words;
       }
@@ -274,6 +300,7 @@ let tables ~jobs ~resume ~telemetry () =
       {
         Experiments.Journal.entry_id = id;
         wall_ms;
+        minor_words = t.minor_words;
         major_words = t.major_words;
         top_heap_words = t.top_heap_words;
       };
@@ -327,6 +354,7 @@ let tables ~jobs ~resume ~telemetry () =
               {
                 id = j.entry_id;
                 wall_ms = j.wall_ms;
+                minor_words = j.minor_words;
                 major_words = j.major_words;
                 top_heap_words = j.top_heap_words;
               })
@@ -334,13 +362,28 @@ let tables ~jobs ~resume ~telemetry () =
     in
     from_journal @ fresh
   in
+  let cache_json =
+    match cache with
+    | None -> None
+    | Some _ ->
+      Some (Telemetry.Registry.to_json (Experiments.Harness.cache_registry h))
+  in
   let json =
     json_results ~jobs ~total_ms ~telemetry:(List.rev !telemetry_summaries)
-      merged
+      ?cache:cache_json merged
   in
   atomic_write results_path json;
   Printf.eprintf "[bench] jobs=%d total=%.1fs — timings in %s\n" jobs
     (total_ms /. 1000.0) results_path;
+  (match cache with
+  | Some st ->
+    let s = Store.stats st in
+    Printf.eprintf
+      "[bench] cache: %d hit / %d miss / %d write / %d corrupt — %d \
+       entries, %d bytes\n"
+      s.Store.hits s.Store.misses s.Store.writes s.Store.corrupt
+      (Store.entry_count st) (Store.total_bytes st)
+  | None -> ());
   if !failed <> [] then begin
     Printf.eprintf "[bench] %d artifact(s) failed:\n" (List.length !failed);
     List.iter

@@ -186,6 +186,25 @@ let () =
         end)
       fmt
   in
+  (* Provenance: "git" must be a string; new-form results also carry an
+     explicit boolean "dirty" flag, in which case the description must
+     be clean (no "-dirty" suffix — that state belongs in the flag).
+     Old-form results (no "dirty" field, possibly a "-dirty" suffix) are
+     still accepted so the gate can validate archived files. *)
+  let git = str (field "git" results) in
+  let has_dirty_suffix =
+    let suf = "-dirty" in
+    let lg = String.length git and ls = String.length suf in
+    lg >= ls && String.sub git (lg - ls) ls = suf
+  in
+  (match results with
+  | Obj kvs when List.mem_assoc "dirty" kvs ->
+    (match List.assoc "dirty" kvs with
+    | Bool _ ->
+      check (not has_dirty_suffix)
+        "provenance: git %S clean with explicit dirty flag" git
+    | _ -> check false "provenance: \"dirty\" is a boolean")
+  | _ -> check true "provenance: legacy git field %S accepted" git);
   let present =
     List.map (fun a -> str (field "id" a)) (arr (field "artifacts" results))
   in

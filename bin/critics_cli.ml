@@ -600,6 +600,64 @@ let check_cmd =
           transform against the golden architectural model")
     Term.(const run $ cases_arg $ seed_arg)
 
+(* ------------------------------ cache ----------------------------- *)
+
+let cache_cmd =
+  let dir_arg =
+    let doc =
+      "Cache directory (default: the $(b,CRITICS_CACHE_DIR) environment \
+       variable)."
+    in
+    Arg.(value & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let open_store dir =
+    match dir with
+    | Some d -> Store.open_dir d
+    | None -> (
+      match Store.open_default () with
+      | Some st -> st
+      | None ->
+        prerr_endline
+          "critics cache: no cache directory — set CRITICS_CACHE_DIR or \
+           pass --dir";
+        exit 1)
+  in
+  let stat dir =
+    let st = open_store dir in
+    Printf.printf "dir:     %s\n" (Store.dir st);
+    Printf.printf "format:  %s\n" Store.format_version;
+    Printf.printf "code:    %s\n" (Store.code_version ());
+    Printf.printf "entries: %d\n" (Store.entry_count st);
+    Printf.printf "bytes:   %d\n" (Store.total_bytes st)
+  in
+  let clear dir =
+    let st = open_store dir in
+    let removed = Store.clear st in
+    Printf.printf "removed %d entr%s from %s\n" removed
+      (if removed = 1 then "y" else "ies")
+      (Store.dir st)
+  in
+  let stat_cmd =
+    Cmd.v
+      (Cmd.info "stat"
+         ~doc:
+           "Show the store's location, versions, entry count and on-disk \
+            size")
+      Term.(const stat $ dir_arg)
+  in
+  let clear_cmd =
+    Cmd.v
+      (Cmd.info "clear" ~doc:"Remove every cached entry")
+      Term.(const clear $ dir_arg)
+  in
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect or clear the prepared-context store (the on-disk cache \
+          bench and the harness reuse across runs when CRITICS_CACHE_DIR \
+          is set)")
+    [ stat_cmd; clear_cmd ]
+
 (* ------------------------------ main ----------------------------- *)
 
 let () =
@@ -612,4 +670,4 @@ let () =
        (Cmd.group info
           [ apps_cmd; config_cmd; schemes_cmd; run_cmd; compare_cmd;
             profile_cmd; characterize_cmd; experiment_cmd; sweep_cmd;
-            trace_cmd; report_cmd; check_cmd ]))
+            trace_cmd; report_cmd; check_cmd; cache_cmd ]))

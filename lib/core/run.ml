@@ -21,25 +21,88 @@ type app_context = {
   event_count : int;
   db : Profiler.Critic_db.t;
   scheme_cache : scheme_cache;
+  store : Store.t option;
+  ckey : string;
 }
 
 let default_instrs = 120_000
 
-let prepare ?(instrs = default_instrs) ?(sample = 0) ?(profile_window = 512)
-    ?threshold ?(profile_fraction = 1.0) (profile : Workload.Profile.t) =
-  let program = Workload.Gen.program profile in
-  let seed = (profile.seed lxor 0x5EED) + (sample * 0x1000193) in
-  let path = Prog.Walk.path_for_instrs program ~seed ~instrs in
-  let event_count = Prog.Trace.length_of_path program path in
-  let db =
-    Profiler.Profile_run.profile_stream ~window:profile_window ?threshold
-      ~fraction:profile_fraction ~total_events:event_count
-      (Prog.Trace.Stream.of_program program ~seed path)
+(* Bump whenever the marshalled shape of the cached tuple — or of any
+   type reachable from it — changes.  [Store.code_version] already
+   invalidates on every commit; this constant covers dirty-worktree
+   edits, where the git description stays "<sha>-dirty" across edits. *)
+let context_format = "critics-ctx-1"
+
+let context_key ?(instrs = default_instrs) ?(sample = 0)
+    ?(profile_window = 512) ?threshold ?(profile_fraction = 1.0)
+    (profile : Workload.Profile.t) =
+  Store.key ~kind:"context"
+    [
+      context_format;
+      Marshal.to_string profile [];
+      string_of_int instrs;
+      string_of_int sample;
+      string_of_int profile_window;
+      (match threshold with
+      | None -> "default"
+      | Some f -> Printf.sprintf "%h" f);
+      Printf.sprintf "%h" profile_fraction;
+    ]
+
+(* The tuple a context entry marshals: everything [prepare] derives.
+   The scheme cache is rebuilt fresh (it holds a mutex), and the store
+   handle itself obviously isn't part of the payload. *)
+type context_payload =
+  Prog.Program.t * int * Prog.Walk.path * int * Profiler.Critic_db.t
+
+let prepare ?store ?(instrs = default_instrs) ?(sample = 0)
+    ?(profile_window = 512) ?threshold ?(profile_fraction = 1.0)
+    (profile : Workload.Profile.t) =
+  let key =
+    context_key ~instrs ~sample ~profile_window ?threshold ~profile_fraction
+      profile
   in
-  let scheme_cache =
-    { cache_lock = Mutex.create (); entries = []; transforms = 0 }
+  let pack (program, seed, path, event_count, db) =
+    let scheme_cache =
+      { cache_lock = Mutex.create (); entries = []; transforms = 0 }
+    in
+    {
+      profile;
+      program;
+      seed;
+      path;
+      event_count;
+      db;
+      scheme_cache;
+      store;
+      ckey = Store.key_digest key;
+    }
   in
-  { profile; program; seed; path; event_count; db; scheme_cache }
+  let build () =
+    let program = Workload.Gen.program profile in
+    let seed = (profile.seed lxor 0x5EED) + (sample * 0x1000193) in
+    let path = Prog.Walk.path_for_instrs program ~seed ~instrs in
+    let event_count = Prog.Trace.length_of_path program path in
+    let db =
+      Profiler.Profile_run.profile_stream ~window:profile_window ?threshold
+        ~fraction:profile_fraction ~total_events:event_count
+        (Prog.Trace.Stream.of_program program ~seed path)
+    in
+    let payload : context_payload = (program, seed, path, event_count, db) in
+    (match store with
+    | Some st -> Store.add st key (Marshal.to_string payload [])
+    | None -> ());
+    pack payload
+  in
+  match store with
+  | None -> build ()
+  | Some st -> (
+    match Store.find st key with
+    | None -> build ()
+    | Some bytes -> (
+      match (Marshal.from_string bytes 0 : context_payload) with
+      | payload -> pack payload
+      | exception _ -> build ()))
 
 let rec transformed ctx (scheme : Scheme.t) =
   let critic ?(options = Transform.Critic_pass.default_options) () =
@@ -74,6 +137,31 @@ let rec transformed ctx (scheme : Scheme.t) =
     | Scheme.Opp16_critic ->
       fst (Transform.Thumb.opp16 (transformed ctx Scheme.Critic))
   in
+  (* Store-backed layer under the in-memory memo: a transformed program
+     is a deterministic function of the prepared context (ckey) and the
+     scheme, so warm runs load its marshalled bytes instead of
+     re-running the compiler pipeline. *)
+  (* Returns [(program, ran_compiler)] so the memo below can keep
+     [transforms] an honest count of compiler-pipeline executions:
+     store-served programs don't run the pipeline. *)
+  let materialize () =
+    match ctx.store with
+    | None -> (compute (), true)
+    | Some st -> (
+      let k = Store.key ~kind:"program" [ ctx.ckey; Scheme.name scheme ] in
+      match Store.find st k with
+      | Some bytes -> (
+        match (Marshal.from_string bytes 0 : Prog.Program.t) with
+        | p -> (p, false)
+        | exception _ ->
+          let p = compute () in
+          Store.add st k (Marshal.to_string p []);
+          (p, true))
+      | None ->
+        let p = compute () in
+        Store.add st k (Marshal.to_string p []);
+        (p, true))
+  in
   match scheme with
   | Scheme.Baseline -> ctx.program
   | _ ->
@@ -93,13 +181,13 @@ let rec transformed ctx (scheme : Scheme.t) =
       p
     | None ->
       Mutex.unlock c.cache_lock;
-      let p = compute () in
+      let p, ran_compiler = materialize () in
       Mutex.lock c.cache_lock;
       let p =
         match List.assoc_opt scheme c.entries with
         | Some winner -> winner
         | None ->
-          c.transforms <- c.transforms + 1;
+          if ran_compiler then c.transforms <- c.transforms + 1;
           c.entries <-
             (scheme, p)
             :: (if List.length c.entries >= cache_capacity then

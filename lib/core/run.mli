@@ -24,6 +24,13 @@ type app_context = {
   event_count : int;      (** events the baseline stream yields *)
   db : Profiler.Critic_db.t;
   scheme_cache : scheme_cache;
+  store : Store.t option;
+      (** prepared-artifact cache consulted by {!transformed}; [None]
+          keeps the context fully hermetic *)
+  ckey : string;
+      (** content fingerprint of everything this context was prepared
+          from (app profile bytes, preparation parameters, code
+          version) — the key derived artifacts chain from *)
 }
 
 val default_instrs : int
@@ -32,6 +39,7 @@ val default_instrs : int
     for laptop turnaround (documented in DESIGN.md). *)
 
 val prepare :
+  ?store:Store.t ->
   ?instrs:int ->
   ?sample:int ->
   ?profile_window:int ->
@@ -42,7 +50,24 @@ val prepare :
 (** Generate, walk and profile one application.  [sample] (default 0)
     selects one of the independent execution samples of the same
     program — the equivalent of the paper's 100 random samples per app:
-    different control-flow walk, same code. *)
+    different control-flow walk, same code.
+
+    With [?store], the expensive derivation (generate → walk → profile)
+    is cached: a hit deserializes the prepared artifacts instead of
+    recomputing them, keyed on the profile bytes, every preparation
+    parameter and the code version, so any change recomputes.  Corrupt
+    or mismatched entries silently fall back to recompute. *)
+
+val context_key :
+  ?instrs:int ->
+  ?sample:int ->
+  ?profile_window:int ->
+  ?threshold:float ->
+  ?profile_fraction:float ->
+  Workload.Profile.t ->
+  Store.key
+(** The store key {!prepare} uses for these inputs — exposed so tests
+    and tools can probe or invalidate specific entries. *)
 
 val transformed : app_context -> Scheme.t -> Prog.Program.t
 (** The program a scheme's compiler pipeline produces.  Memoized per

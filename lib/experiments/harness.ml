@@ -8,14 +8,20 @@ type t = {
   instrs : int;
   jobs : int;
   telemetry : int option; (* probe window size; None = probes disabled *)
+  store : Store.t option; (* prepared-artifact cache; None = hermetic *)
+  context_cap : int option; (* max resident contexts; None = unbounded *)
   pool : Parallel.Pool.t Lazy.t;
   lock : Mutex.t;
   contexts : (string, Critics.Run.app_context) Hashtbl.t;
+  ctx_stamps : (string, int) Hashtbl.t; (* LRU stamps, under [lock] *)
+  mutable ctx_clock : int;
+  mutable ctx_evictions : int;
   results : (string, Pipeline.Stats.t) Hashtbl.t;
   probes : (string, Telemetry.Probe.t) Hashtbl.t;
 }
 
-let create ?(instrs = Critics.Run.default_instrs) ?jobs ?telemetry () =
+let create ?(instrs = Critics.Run.default_instrs) ?jobs ?telemetry ?store
+    ?context_cap () =
   let jobs =
     max 1 (match jobs with Some j -> j | None -> Parallel.default_jobs ())
   in
@@ -23,9 +29,14 @@ let create ?(instrs = Critics.Run.default_instrs) ?jobs ?telemetry () =
     instrs;
     jobs;
     telemetry;
+    store;
+    context_cap = Option.map (max 1) context_cap;
     pool = lazy (Parallel.Pool.create ~jobs ());
     lock = Mutex.create ();
     contexts = Hashtbl.create 32;
+    ctx_stamps = Hashtbl.create 32;
+    ctx_clock = 0;
+    ctx_evictions = 0;
     results = Hashtbl.create 256;
     probes = Hashtbl.create 256;
   }
@@ -33,7 +44,20 @@ let create ?(instrs = Critics.Run.default_instrs) ?jobs ?telemetry () =
 let instrs t = t.instrs
 let jobs t = t.jobs
 let telemetry_window t = t.telemetry
+let store t = t.store
 let pool t = Lazy.force t.pool
+
+let resident_contexts t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.contexts in
+  Mutex.unlock t.lock;
+  n
+
+let context_evictions t =
+  Mutex.lock t.lock;
+  let n = t.ctx_evictions in
+  Mutex.unlock t.lock;
+  n
 
 (* The memoization key depends on the *actual* machine configuration,
    not on a caller-supplied label: Config.t is a pure data record, so a
@@ -51,22 +75,65 @@ let result_key (profile : Workload.Profile.t) scheme fingerprint =
   Printf.sprintf "%s/%s/%s" profile.name (Critics.Scheme.name scheme)
     fingerprint
 
+(* -------- bounded-LRU resident contexts (all under [t.lock]) ------- *)
+
+let touch_locked t name =
+  t.ctx_clock <- t.ctx_clock + 1;
+  Hashtbl.replace t.ctx_stamps name t.ctx_clock
+
+(* Evict least-recently-touched contexts until at most [cap] remain.
+   Only the resident table shrinks: callers holding a context keep it
+   alive, and with a store attached a later request reloads the evicted
+   context from disk instead of re-deriving it — which is what keeps
+   peak heap flat across a many-app sweep. *)
+let rec evict_locked t cap =
+  if Hashtbl.length t.contexts > cap then begin
+    let victim =
+      Hashtbl.fold
+        (fun name _ acc ->
+          let stamp =
+            match Hashtbl.find_opt t.ctx_stamps name with
+            | Some s -> s
+            | None -> 0
+          in
+          match acc with
+          | Some (_, s) when s <= stamp -> acc
+          | _ -> Some (name, stamp))
+        t.contexts None
+    in
+    match victim with
+    | None -> ()
+    | Some (name, _) ->
+      Hashtbl.remove t.contexts name;
+      Hashtbl.remove t.ctx_stamps name;
+      t.ctx_evictions <- t.ctx_evictions + 1;
+      evict_locked t cap
+  end
+
+let enforce_cap_locked t =
+  match t.context_cap with None -> () | Some cap -> evict_locked t cap
+
 let context t (profile : Workload.Profile.t) =
   Mutex.lock t.lock;
   let cached = Hashtbl.find_opt t.contexts profile.name in
+  (match cached with Some _ -> touch_locked t profile.name | None -> ());
   Mutex.unlock t.lock;
   match cached with
   | Some ctx -> ctx
   | None ->
-    let ctx = Critics.Run.prepare ~instrs:t.instrs profile in
+    let ctx = Critics.Run.prepare ?store:t.store ~instrs:t.instrs profile in
     Mutex.lock t.lock;
     (* Another domain may have raced us here; keep the first insert so
        every caller shares one context (and its trace cache). *)
     let ctx =
       match Hashtbl.find_opt t.contexts profile.name with
-      | Some existing -> existing
+      | Some existing ->
+        touch_locked t profile.name;
+        existing
       | None ->
         Hashtbl.replace t.contexts profile.name ctx;
+        touch_locked t profile.name;
+        enforce_cap_locked t;
         ctx
     in
     Mutex.unlock t.lock;
@@ -80,7 +147,39 @@ let context t (profile : Workload.Profile.t) =
    leave neither stats nor probe behind. *)
 let simulate t ?config ?fuel ~key ctx scheme =
   match t.telemetry with
-  | None -> Critics.Run.stats ?config ?fuel ctx scheme
+  | None -> (
+    match (t.store, fuel) with
+    | None, _ | _, Some _ ->
+      (* No store, or a fuel budget: run live.  A cached entry proves
+         some unbounded run completed — returning it under a small fuel
+         budget would mask the abort the caller asked for (the
+         supervised stall faults depend on that abort). *)
+      Critics.Run.stats ?config ?fuel ctx scheme
+    | Some st, None -> (
+      (* Store-backed layer under the in-memory memo: a completed
+         simulation is a deterministic function of the prepared context
+         (ckey), the scheme and the machine configuration, so warm runs
+         deserialize the stats instead of simulating. *)
+      let fp =
+        match config with
+        | None -> default_fingerprint
+        | Some c -> config_fingerprint c
+      in
+      let k =
+        Store.key ~kind:"stats"
+          [ ctx.Critics.Run.ckey; Critics.Scheme.name scheme; fp ]
+      in
+      let run_and_add () =
+        let s = Critics.Run.stats ?config ctx scheme in
+        Store.add st k (Marshal.to_string s []);
+        s
+      in
+      match Store.find st k with
+      | None -> run_and_add ()
+      | Some bytes -> (
+        match (Marshal.from_string bytes 0 : Pipeline.Stats.t) with
+        | s -> s
+        | exception _ -> run_and_add ())))
   | Some window ->
     let probe = Telemetry.Probe.create ~window () in
     let st = Critics.Run.stats ?config ?fuel ~probe ctx scheme in
@@ -152,6 +251,14 @@ let telemetry_registry_for t jobs =
     keys;
   into
 
+let cache_registry t =
+  let reg = Telemetry.Registry.create () in
+  (match t.store with Some st -> Store.publish st reg | None -> ());
+  Telemetry.Registry.add
+    (Telemetry.Registry.counter reg "harness/context_evict")
+    (context_evictions t);
+  reg
+
 let telemetry_registry t =
   let into = Telemetry.Registry.create () in
   (* Sorted memo-key order: the aggregate is independent of the pool's
@@ -206,15 +313,18 @@ let run_batch t jobs =
   let prepared =
     Parallel.Pool.map_list ~chunk:1 (pool t)
       (fun (p : Workload.Profile.t) ->
-        (p.name, Critics.Run.prepare ~instrs:t.instrs p))
+        (p.name, Critics.Run.prepare ?store:t.store ~instrs:t.instrs p))
       missing_profiles
   in
   Mutex.lock t.lock;
   List.iter
     (fun (name, ctx) ->
-      if not (Hashtbl.mem t.contexts name) then
-        Hashtbl.replace t.contexts name ctx)
+      if not (Hashtbl.mem t.contexts name) then begin
+        Hashtbl.replace t.contexts name ctx;
+        touch_locked t name
+      end)
     prepared;
+  enforce_cap_locked t;
   Mutex.unlock t.lock;
   (* Phase 2: evaluate every missing (app, scheme, config) simulation.
      Jobs are grouped by (app, scheme) so consecutive jobs in a chunk

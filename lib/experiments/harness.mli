@@ -17,7 +17,14 @@
 
 type t
 
-val create : ?instrs:int -> ?jobs:int -> ?telemetry:int -> unit -> t
+val create :
+  ?instrs:int ->
+  ?jobs:int ->
+  ?telemetry:int ->
+  ?store:Store.t ->
+  ?context_cap:int ->
+  unit ->
+  t
 (** [instrs] is the work-instruction budget per application run
     (default {!Critics.Run.default_instrs}).  [jobs] is the parallelism
     width for {!run_batch} (default {!Parallel.default_jobs}: the
@@ -28,7 +35,17 @@ val create : ?instrs:int -> ?jobs:int -> ?telemetry:int -> unit -> t
     the harness runs, with the given window size in cycles; the probes
     are memoized alongside the stats ({!probe_for}) and their registries
     merge deterministically ({!telemetry_registry}).  Simulation results
-    are bit-identical with telemetry on or off. *)
+    are bit-identical with telemetry on or off.
+
+    [store] attaches a prepared-artifact cache ({!Store}): context
+    preparation, compiler transforms and completed default-fuel
+    simulations are persisted, so a warm harness loads them instead of
+    recomputing.  Telemetry-enabled simulations always run live (probes
+    observe the run itself).  [context_cap] bounds the number of
+    resident application contexts (clamped to ≥ 1); the least recently
+    used is evicted past the cap and transparently re-prepared — from
+    the store when one is attached — on the next request, keeping peak
+    heap flat across sweeps of many applications. *)
 
 val instrs : t -> int
 
@@ -37,6 +54,21 @@ val jobs : t -> int
 
 val telemetry_window : t -> int option
 (** The probe window size, or [None] when telemetry is disabled. *)
+
+val store : t -> Store.t option
+(** The attached prepared-artifact store, if any. *)
+
+val resident_contexts : t -> int
+(** Application contexts currently held in memory. *)
+
+val context_evictions : t -> int
+(** Contexts evicted so far by the [context_cap] LRU bound. *)
+
+val cache_registry : t -> Telemetry.Registry.t
+(** Cache-effectiveness counters as a telemetry registry: the attached
+    store's [store/hit], [store/miss], [store/write], [store/corrupt]
+    and [store/bytes] series (when a store is attached) plus
+    [harness/context_evict]. *)
 
 val pool : t -> Parallel.Pool.t
 (** The harness's domain pool, for experiment modules that parallelize

@@ -10,24 +10,36 @@
 type entry = {
   entry_id : string;
   wall_ms : float;
+  minor_words : float;
   major_words : float;
   top_heap_words : int;
 }
 
 let to_line e =
   Printf.sprintf
-    "{ \"id\": %S, \"wall_ms\": %.1f, \"major_words\": %.0f, \
-     \"top_heap_words\": %d }"
-    e.entry_id e.wall_ms e.major_words e.top_heap_words
+    "{ \"id\": %S, \"wall_ms\": %.1f, \"minor_words\": %.0f, \
+     \"major_words\": %.0f, \"top_heap_words\": %d }"
+    e.entry_id e.wall_ms e.minor_words e.major_words e.top_heap_words
 
 let of_line l =
   try
     Scanf.sscanf l
-      " { \"id\": %S, \"wall_ms\": %f, \"major_words\": %f, \
-       \"top_heap_words\": %d }"
-      (fun entry_id wall_ms major_words top_heap_words ->
-        Some { entry_id; wall_ms; major_words; top_heap_words })
-  with Scanf.Scan_failure _ | End_of_file | Failure _ -> None
+      " { \"id\": %S, \"wall_ms\": %f, \"minor_words\": %f, \
+       \"major_words\": %f, \"top_heap_words\": %d }"
+      (fun entry_id wall_ms minor_words major_words top_heap_words ->
+        Some { entry_id; wall_ms; minor_words; major_words; top_heap_words })
+  with Scanf.Scan_failure _ | End_of_file | Failure _ -> (
+    (* Journals written before minor_words was recorded: accept the old
+       shape so --resume across the version boundary still merges. *)
+    try
+      Scanf.sscanf l
+        " { \"id\": %S, \"wall_ms\": %f, \"major_words\": %f, \
+         \"top_heap_words\": %d }"
+        (fun entry_id wall_ms major_words top_heap_words ->
+          Some
+            { entry_id; wall_ms; minor_words = 0.0; major_words;
+              top_heap_words })
+    with Scanf.Scan_failure _ | End_of_file | Failure _ -> None)
 
 let append path e =
   let oc =

@@ -10,6 +10,7 @@
 type entry = {
   entry_id : string;
   wall_ms : float;
+  minor_words : float;
   major_words : float;
   top_heap_words : int;
 }

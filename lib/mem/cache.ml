@@ -23,6 +23,11 @@ type t = {
   mutable fills : int;
   mutable prefetch_fills : int;
   mutable writebacks : int;
+  (* Victim of the most recent install, readable without allocating the
+     [(addr, dirty) option] of {!access_evict}: -1 = no valid line was
+     displaced.  Only meaningful immediately after {!access_demand}. *)
+  mutable victim_addr : int;
+  mutable victim_dirty : bool;
 }
 
 let is_pow2 x = x > 0 && x land (x - 1) = 0
@@ -54,6 +59,8 @@ let create ~name ~size_bytes ~assoc ~line_bytes =
     fills = 0;
     prefetch_fills = 0;
     writebacks = 0;
+    victim_addr = -1;
+    victim_dirty = false;
   }
 
 let name t = t.name
@@ -62,52 +69,62 @@ let sets t = t.sets
 let assoc t = t.assoc
 let line_of t addr = addr land lnot (t.line_bytes - 1)
 
-let set_and_tag t addr =
-  let line = addr lsr t.line_shift in
-  (line mod t.sets, line / t.sets)
-
 (* -1 when the tag is not present: called once per access, so it avoids
-   allocating an option on every cache hit. *)
+   allocating an option on every cache hit.  Plain loops over mutable
+   locals rather than local recursive functions: a [let rec] capturing
+   [ways]/[tag] costs a closure allocation per call without flambda,
+   which on this per-access path is the difference between a GC-silent
+   simulation loop and one minor allocation per cache access. *)
 let find_way t set tag =
   let ways = t.tags.(set) in
-  let rec go i =
-    if i >= t.assoc then -1 else if ways.(i) = tag then i else go (i + 1)
-  in
-  go 0
+  let found = ref (-1) in
+  let i = ref 0 in
+  while !found < 0 && !i < t.assoc do
+    if ways.(!i) = tag then found := !i;
+    incr i
+  done;
+  !found
 
 let touch t set way =
   t.clock <- t.clock + 1;
   t.recency.(set).(way) <- t.clock
 
 let victim_way t set =
-  let rec go i best =
-    if i >= t.assoc then best
-    else if t.tags.(set).(i) = -1 then i
-    else if t.recency.(set).(i) < t.recency.(set).(best) then go (i + 1) i
-    else go (i + 1) best
-  in
-  go 1 0
+  let tags = t.tags.(set) in
+  let recency = t.recency.(set) in
+  let best = ref 0 in
+  let invalid = ref (-1) in
+  for i = 0 to t.assoc - 1 do
+    if tags.(i) = -1 then begin
+      if !invalid < 0 then invalid := i
+    end
+    else if recency.(i) < recency.(!best) then best := i
+  done;
+  if !invalid >= 0 then !invalid else !best
 
-(* Install a tag, returning the victim line (address, dirty) if a valid
-   line was displaced. *)
+(* Install a tag, recording the victim line in [victim_addr]/
+   [victim_dirty] ([victim_addr = -1]: no valid line displaced).
+   Returns the way used. *)
 let install t set tag =
   let way = victim_way t set in
   let old_tag = t.tags.(set).(way) in
-  let victim =
-    if old_tag = -1 then None
-    else begin
-      let addr = ((old_tag * t.sets) + set) lsl t.line_shift in
-      let was_dirty = t.dirty.(set).(way) in
-      if was_dirty then t.writebacks <- t.writebacks + 1;
-      Some (addr, was_dirty)
-    end
-  in
+  if old_tag = -1 then t.victim_addr <- -1
+  else begin
+    let addr = ((old_tag * t.sets) + set) lsl t.line_shift in
+    let was_dirty = t.dirty.(set).(way) in
+    if was_dirty then t.writebacks <- t.writebacks + 1;
+    t.victim_addr <- addr;
+    t.victim_dirty <- was_dirty
+  end;
   t.tags.(set).(way) <- tag;
   t.dirty.(set).(way) <- false;
   touch t set way;
-  (way, victim)
+  way
 
-let access_evict ?(write = false) t addr =
+(* [~write] is a plain labelled bool, not optional: the hot path in
+   Mem.Hierarchy passes a runtime-computed flag, and an optional
+   argument would box it as [Some write] on every access. *)
+let access_demand ~write t addr =
   (* set_and_tag, open-coded to skip the per-access pair allocation *)
   let line = addr lsr t.line_shift in
   let set = line mod t.sets and tag = line / t.sets in
@@ -117,24 +134,36 @@ let access_evict ?(write = false) t addr =
     t.hits <- t.hits + 1;
     touch t set way;
     if write then t.dirty.(set).(way) <- true;
-    (true, None)
+    t.victim_addr <- -1;
+    true
   end
   else begin
     t.misses <- t.misses + 1;
     t.fills <- t.fills + 1;
-    let way, victim = install t set tag in
+    let way = install t set tag in
     if write then t.dirty.(set).(way) <- true;
-    (false, victim)
+    false
   end
 
-let access ?write t addr = fst (access_evict ?write t addr)
+let victim_addr t = t.victim_addr
+let victim_dirty t = t.victim_dirty
+
+let access_evict ?(write = false) t addr =
+  let hit = access_demand ~write t addr in
+  let victim =
+    if t.victim_addr = -1 then None else Some (t.victim_addr, t.victim_dirty)
+  in
+  (hit, victim)
+
+let access ?(write = false) t addr = access_demand ~write t addr
 
 let probe t addr =
-  let set, tag = set_and_tag t addr in
-  find_way t set tag >= 0
+  let line = addr lsr t.line_shift in
+  find_way t (line mod t.sets) (line / t.sets) >= 0
 
 let fill t addr =
-  let set, tag = set_and_tag t addr in
+  let line = addr lsr t.line_shift in
+  let set = line mod t.sets and tag = line / t.sets in
   let way = find_way t set tag in
   if way >= 0 then touch t set way
   else begin

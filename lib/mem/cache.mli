@@ -38,6 +38,21 @@ val access_evict : ?write:bool -> t -> int -> bool * (int * bool) option
     valid line: [(line_address, was_dirty)].  Dirty evictions are what
     the next level must absorb as writebacks. *)
 
+val access_demand : write:bool -> t -> int -> bool
+(** Allocation-free {!access_evict}: same counter and replacement
+    effects, returning only the hit flag.  The victim, if any, is left
+    in {!victim_addr}/{!victim_dirty} until the next access.  [~write]
+    is a required label (not optional) so runtime flags on the hot path
+    never box an option. *)
+
+val victim_addr : t -> int
+(** Line address of the valid line displaced by the most recent
+    {!access_demand} (or [fill]); [-1] when nothing was displaced. *)
+
+val victim_dirty : t -> bool
+(** Whether that victim was dirty.  Meaningless when
+    [victim_addr c = -1]. *)
+
 val probe : t -> int -> bool
 (** Lookup without any state change or counting. *)
 

@@ -48,6 +48,10 @@ type t = {
   pending_l1i : (int, int) Hashtbl.t;
   pending_l1d : (int, int) Hashtbl.t;
   pending_l2 : (int, int) Hashtbl.t;
+  (* Level that served the most recent demand access, readable without
+     allocating an [outcome] record (the pipeline only needs the
+     latency; the record API below is a wrapper over this field). *)
+  mutable last_level : level;
 }
 
 let create config =
@@ -69,50 +73,64 @@ let create config =
     pending_l1i = Hashtbl.create 64;
     pending_l1d = Hashtbl.create 64;
     pending_l2 = Hashtbl.create 64;
+    last_level = L1;
   }
 
 let config t = t.config
 
 (* If a prefetch for [line] is in flight, the demand access waits for the
-   remaining cycles instead of redoing the whole miss path. *)
+   remaining cycles instead of redoing the whole miss path.  -1 means no
+   fill was pending (an exception match instead of [find_opt] so the
+   per-access path never allocates a [Some]). *)
 let pending_wait pending cache ~now line =
-  match Hashtbl.find_opt pending line with
-  | None -> None
-  | Some ready ->
+  match Hashtbl.find pending line with
+  | exception Not_found -> -1
+  | ready ->
     Hashtbl.remove pending line;
     Cache.fill cache line;
-    Some (max 0 (ready - now))
+    max 0 (ready - now)
 
 (* A dirty line displaced from the L2 drains to DRAM through the write
    buffer: it consumes DRAM bandwidth but is off the load's critical
-   path, so no latency is charged to the demand access. *)
-let absorb_l2_victim t ~now = function
-  | Some (addr, true) -> ignore (Dram.access t.dram ~now ~write:true addr)
-  | Some (_, false) | None -> ()
+   path, so no latency is charged to the demand access.  Reads the L2's
+   victim fields, so it must run before the next L2 access. *)
+let absorb_l2_victim t ~now =
+  if Cache.victim_addr t.l2 >= 0 && Cache.victim_dirty t.l2 then
+    ignore (Dram.access t.dram ~now ~write:true (Cache.victim_addr t.l2))
 
 (* L2 lookup (with DRAM fallback) shared by both L1 miss paths.
-   Returns (level, cycles beyond the L1 hit time). *)
+   Returns cycles beyond the L1 hit time and records the serving level
+   in [last_level]. *)
 let l2_path t ~now ~write line =
   let c = t.config in
-  match pending_wait t.pending_l2 t.l2 ~now line with
-  | Some wait -> (L2, c.l2_hit + wait)
-  | None ->
-    let hit, victim = Cache.access_evict t.l2 line in
-    absorb_l2_victim t ~now victim;
-    if hit then (L2, c.l2_hit)
-    else
-      let dram_lat =
-        Dram.access t.dram ~now:(now + c.l2_hit) ~write line
-      in
-      (Main, c.l2_hit + dram_lat)
+  let wait = pending_wait t.pending_l2 t.l2 ~now line in
+  if wait >= 0 then begin
+    t.last_level <- L2;
+    c.l2_hit + wait
+  end
+  else begin
+    let hit = Cache.access_demand ~write:false t.l2 line in
+    absorb_l2_victim t ~now;
+    if hit then begin
+      t.last_level <- L2;
+      c.l2_hit
+    end
+    else begin
+      t.last_level <- Main;
+      c.l2_hit + Dram.access t.dram ~now:(now + c.l2_hit) ~write line
+    end
+  end
 
 (* A dirty L1d victim writes back into the L2 (again off the critical
-   path); the L2 may in turn displace a dirty line of its own. *)
-let absorb_l1d_victim t ~now = function
-  | Some (addr, true) ->
-    let _, victim = Cache.access_evict ~write:true t.l2 addr in
-    absorb_l2_victim t ~now victim
-  | Some (_, false) | None -> ()
+   path); the L2 may in turn displace a dirty line of its own.  Reads
+   [l1]'s victim fields, so it must run before the next access to that
+   cache; i-side victims are clean by construction and ignored. *)
+let absorb_l1_victim t ~now ~is_data l1 =
+  if is_data && Cache.victim_addr l1 >= 0 && Cache.victim_dirty l1 then begin
+    let addr = Cache.victim_addr l1 in
+    ignore (Cache.access_demand ~write:true t.l2 addr);
+    absorb_l2_victim t ~now
+  end
 
 let train_prefetcher t ~now ~pc line =
   match t.prefetcher with
@@ -131,49 +149,74 @@ let train_prefetcher t ~now ~pc line =
         end)
       addrs
 
-let demand_access t ~now ~pc ~write ~l1 ~l1_hit ~pending addr =
+(* Latency-only demand access: the serving level lands in [last_level],
+   nothing is allocated.  The [outcome]-returning API below wraps it. *)
+let demand_lat t ~now ~pc ~write ~l1 ~l1_hit ~pending addr =
   let line = Cache.line_of l1 addr in
   let is_data = l1 == t.l1d in
-  let absorb victim = if is_data then absorb_l1d_victim t ~now victim in
-  match pending_wait pending l1 ~now line with
-  | Some wait ->
-    let _, victim = Cache.access_evict ~write l1 line in
-    absorb victim;
-    { level = L1; latency = l1_hit + wait }
-  | None ->
-    let hit, victim = Cache.access_evict ~write l1 line in
-    absorb victim;
-    if hit then { level = L1; latency = l1_hit }
-    else begin
-      let level, beyond = l2_path t ~now ~write:false line in
-      if level = Main then train_prefetcher t ~now ~pc line;
-      { level; latency = l1_hit + beyond }
+  let wait = pending_wait pending l1 ~now line in
+  if wait >= 0 then begin
+    ignore (Cache.access_demand ~write l1 line);
+    absorb_l1_victim t ~now ~is_data l1;
+    t.last_level <- L1;
+    l1_hit + wait
+  end
+  else begin
+    let hit = Cache.access_demand ~write l1 line in
+    absorb_l1_victim t ~now ~is_data l1;
+    if hit then begin
+      t.last_level <- L1;
+      l1_hit
     end
+    else begin
+      let beyond = l2_path t ~now ~write:false line in
+      if t.last_level = Main then train_prefetcher t ~now ~pc line;
+      l1_hit + beyond
+    end
+  end
 
 let prefetch ~l1 ~pending t ~now ~write addr =
   let line = Cache.line_of l1 addr in
   if (not (Cache.probe l1 line)) && not (Hashtbl.mem pending line) then begin
-    let _, beyond = l2_path t ~now ~write line in
+    let beyond = l2_path t ~now ~write line in
     Hashtbl.replace pending line (now + beyond)
   end
 
-let ifetch t ~now addr =
-  let o =
-    demand_access t ~now ~pc:addr ~write:false ~l1:t.l1i
+let ifetch_lat t ~now addr =
+  let lat =
+    demand_lat t ~now ~pc:addr ~write:false ~l1:t.l1i
       ~l1_hit:t.config.l1i_hit ~pending:t.pending_l1i addr
   in
-  if t.config.l1i_next_line then
+  if t.config.l1i_next_line then begin
+    (* The prefetch's own L2 walk must not clobber the demand level. *)
+    let level = t.last_level in
     prefetch ~l1:t.l1i ~pending:t.pending_l1i t ~now ~write:false
       (addr + t.config.line_bytes);
-  o
+    t.last_level <- level
+  end;
+  lat
+
+let dread_lat t ~now ~pc addr =
+  demand_lat t ~now ~pc ~write:false ~l1:t.l1d ~l1_hit:t.config.l1d_hit
+    ~pending:t.pending_l1d addr
+
+let dwrite_lat t ~now ~pc addr =
+  demand_lat t ~now ~pc ~write:true ~l1:t.l1d ~l1_hit:t.config.l1d_hit
+    ~pending:t.pending_l1d addr
+
+let last_level t = t.last_level
+
+let ifetch t ~now addr =
+  let latency = ifetch_lat t ~now addr in
+  { level = t.last_level; latency }
 
 let dread t ~now ~pc addr =
-  demand_access t ~now ~pc ~write:false ~l1:t.l1d ~l1_hit:t.config.l1d_hit
-    ~pending:t.pending_l1d addr
+  let latency = dread_lat t ~now ~pc addr in
+  { level = t.last_level; latency }
 
 let dwrite t ~now ~pc addr =
-  demand_access t ~now ~pc ~write:true ~l1:t.l1d ~l1_hit:t.config.l1d_hit
-    ~pending:t.pending_l1d addr
+  let latency = dwrite_lat t ~now ~pc addr in
+  { level = t.last_level; latency }
 
 let prefetch_i t ~now addr =
   prefetch ~l1:t.l1i ~pending:t.pending_l1i t ~now ~write:false addr

@@ -49,6 +49,16 @@ val dread : t -> now:int -> pc:int -> int -> outcome
 
 val dwrite : t -> now:int -> pc:int -> int -> outcome
 
+val ifetch_lat : t -> now:int -> int -> int
+(** Allocation-free {!ifetch}: same state effects, returning only the
+    latency.  The serving level is left in {!last_level}. *)
+
+val dread_lat : t -> now:int -> pc:int -> int -> int
+val dwrite_lat : t -> now:int -> pc:int -> int -> int
+
+val last_level : t -> level
+(** Level that served the most recent demand access. *)
+
 val prefetch_i : t -> now:int -> int -> unit
 (** Start an instruction-side prefetch into the i-cache (EFetch). *)
 

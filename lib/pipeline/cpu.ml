@@ -42,14 +42,29 @@ type source = unit -> Prog.Trace.Stream.cursor
    retirement, and the polymorphic Stdlib.max goes through compare_val. *)
 let[@inline] imax (a : int) b = if a >= b then a else b
 
-(* Completion calendar keys are cycle numbers; a direct int hash avoids
-   the generic caml_hash C call once per simulated cycle. *)
-module Int_tbl = Hashtbl.Make (struct
-  type t = int
+(* Bounded FIFO of stream indices backing the stage queues (fetch
+   queue, decode queue, ROB).  Each is capped by its architected
+   capacity, so one int array serves the whole run and push/pop are
+   GC-silent — unlike [Queue.t], which conses a cell per element. *)
+type iring = {
+  q : int array;
+  mutable hd : int;  (* position of the oldest entry *)
+  mutable n : int;   (* population *)
+}
 
-  let equal (a : int) b = a = b
-  let hash (x : int) = x land max_int
-end)
+let iring_make cap = { q = Array.make (max 1 cap) 0; hd = 0; n = 0 }
+let[@inline] iring_is_empty r = r.n = 0
+let[@inline] iring_peek r = r.q.(r.hd)
+
+let[@inline] iring_push r v =
+  r.q.((r.hd + r.n) mod Array.length r.q) <- v;
+  r.n <- r.n + 1
+
+let[@inline] iring_pop r =
+  let v = r.q.(r.hd) in
+  r.hd <- (r.hd + 1) mod Array.length r.q;
+  r.n <- r.n - 1;
+  v
 
 type acc = {
   mutable count : int;
@@ -175,57 +190,63 @@ let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit ?probe
       fmt
   in
 
-  (* Queues between stages. *)
-  let fetch_q : slot Queue.t = Queue.create () in
-  let decode_q : slot Queue.t = Queue.create () in
-  let rob : slot Queue.t = Queue.create () in
+  (* Absent-slot sentinel: [head], [pending_mispredict] and the rename
+     table hold direct slot references, with [no_slot] (compared by
+     [==]) standing for "none" so the hot path never wraps a slot in
+     [Some]. *)
+  let no_slot = fresh_slot () in
+
+  (* Queues between stages: stream indices into the slot ring. *)
+  let fetch_q = iring_make cfg.fetch_queue in
+  let decode_q = iring_make cfg.decode_queue in
+  let rob = iring_make cfg.rob in
 
   (* Stream head: the next not-yet-fetched instruction, materialized
      into its ring slot the moment the fetch engine first needs it. *)
   let pulled = ref 0 in
-  let head : slot option ref = ref None in
+  let head = ref no_slot in
   let exhausted = ref false in
   let peek_head () =
-    match !head with
-    | Some _ as h -> h
-    | None ->
-      if !exhausted then None
-      else begin
-        match Prog.Trace.Stream.next cursor with
-        | None ->
-          exhausted := true;
-          None
-        | Some ev ->
-          let idx = !pulled in
-          while
-            (let s = slot_at idx in
-             s.idx >= 0 && s.committed < 0)
-          do
-            grow_ring ()
-          done;
-          let s = slot_at idx in
-          s.idx <- idx;
-          s.ev <- ev;
-          s.fetch_request <- -1;
-          s.stall_i <- 0;
-          s.stall_bp <- 0;
-          s.fetched <- -1;
-          s.decoded <- -1;
-          s.renamed <- -1;
-          s.issued <- -1;
-          s.completed <- -1;
-          s.committed <- -1;
-          s.waiting_on <- 0;
-          s.ready_time <- 0;
-          s.ndeps <- 0;
-          s.fanout <- 0;
-          s.in_iq <- false;
-          incr pulled;
-          head := Some s;
-          Some s
+    if !head != no_slot then !head
+    else if !exhausted then no_slot
+    else begin
+      let ev = Prog.Trace.Stream.next_ev cursor in
+      if ev == Prog.Trace.Stream.end_marker then begin
+        exhausted := true;
+        no_slot
       end
+      else begin
+        let idx = !pulled in
+        while
+          (let s = slot_at idx in
+           s.idx >= 0 && s.committed < 0)
+        do
+          grow_ring ()
+        done;
+        let s = slot_at idx in
+        s.idx <- idx;
+        s.ev <- ev;
+        s.fetch_request <- -1;
+        s.stall_i <- 0;
+        s.stall_bp <- 0;
+        s.fetched <- -1;
+        s.decoded <- -1;
+        s.renamed <- -1;
+        s.issued <- -1;
+        s.completed <- -1;
+        s.committed <- -1;
+        s.waiting_on <- 0;
+        s.ready_time <- 0;
+        s.ndeps <- 0;
+        s.fanout <- 0;
+        s.in_iq <- false;
+        incr pulled;
+        head := s;
+        s
+      end
+    end
   in
-  let advance_head () = head := None in
+  let advance_head () = head := no_slot in
 
   (* Issue queue: a flat array in insertion (age) order.  Capacity is
      bounded by cfg.iq (rename stops at that size), so one allocation
@@ -254,12 +275,56 @@ let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit ?probe
     producer.ndeps <- nd + 1
   in
 
-  (* Completion calendar: cycle -> slots finishing then. *)
-  let calendar : slot list Int_tbl.t = Int_tbl.create 1024 in
-  let schedule_completion s cycle =
+  (* Completion calendar: a timing wheel of [wsize] buckets of stream
+     indices, bucket [c mod wsize] holding the slots that finish at
+     cycle [c].  Every completion lands at most a bounded execution
+     latency ahead of [now] (the wheel doubles in the DRAM-bound worst
+     case), and each bucket is drained exactly at its cycle, so two
+     distinct cycles never occupy one bucket together.  Replaces the
+     int-keyed hashtable whose per-schedule list cons and bucket churn
+     were a minor-allocation source per simulated cycle.  The within-
+     cycle wake-up order differs from the hashtable's LIFO lists, which
+     is observationally irrelevant: the effects (decrement, max,
+     reset) commute. *)
+  let wsize = ref 1024 in
+  let wheel = ref (Array.make !wsize [||]) in
+  let wlen = ref (Array.make !wsize 0) in
+  let wcount = ref 0 in
+  let bucket_push wheel wlen b idx =
+    let arr = wheel.(b) in
+    let n = wlen.(b) in
+    if n = Array.length arr then begin
+      let grown = Array.make (imax 4 (2 * n)) 0 in
+      Array.blit arr 0 grown 0 n;
+      grown.(n) <- idx;
+      wheel.(b) <- grown
+    end
+    else arr.(n) <- idx;
+    wlen.(b) <- n + 1
+  in
+  let wheel_grow delta =
+    let nsize = ref (2 * !wsize) in
+    while delta >= !nsize do
+      nsize := 2 * !nsize
+    done;
+    let nwheel = Array.make !nsize [||] in
+    let nlen = Array.make !nsize 0 in
+    for b = 0 to !wsize - 1 do
+      let arr = !wheel.(b) in
+      for k = 0 to !wlen.(b) - 1 do
+        let idx = arr.(k) in
+        bucket_push nwheel nlen ((slot_at idx).completed mod !nsize) idx
+      done
+    done;
+    wheel := nwheel;
+    wlen := nlen;
+    wsize := !nsize
+  in
+  let schedule_completion ~now s cycle =
     s.completed <- cycle;
-    let prev = Option.value ~default:[] (Int_tbl.find_opt calendar cycle) in
-    Int_tbl.replace calendar cycle (s :: prev)
+    if cycle - now >= !wsize then wheel_grow (cycle - now);
+    bucket_push !wheel !wlen (cycle mod !wsize) s.idx;
+    incr wcount
   in
 
   (* Register rename: last in-flight (or most recent) writer per reg.
@@ -267,13 +332,13 @@ let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit ?probe
      mismatch against the record's current [idx] means the slot was
      recycled, which implies the original writer retired long ago — a
      case whose every effect below is a no-op anyway. *)
-  let rename_table : slot option array = Array.make Isa.Reg.count None in
+  let rename_table : slot array = Array.make Isa.Reg.count no_slot in
   let rename_stamp : int array = Array.make Isa.Reg.count (-1) in
 
   (* Fetch engine state. *)
   let fetch_resume_at = ref 0 in
   let cur_line = ref (-1) in
-  let pending_mispredict : slot option ref = ref None in
+  let pending_mispredict = ref no_slot in
   let decode_block_until = ref 0 in
 
   (* Machine-level idle-fetch counters. *)
@@ -412,12 +477,12 @@ let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit ?probe
   let do_commit now =
     let budget = ref cfg.width in
     let continue = ref true in
-    while !continue && !budget > 0 && not (Queue.is_empty rob) do
-      let s = Queue.peek rob in
+    while !continue && !budget > 0 && not (iring_is_empty rob) do
+      let s = slot_at (iring_peek rob) in
       if s.completed >= 0 && s.completed <= now then begin
-        ignore (Queue.pop rob);
+        ignore (iring_pop rob);
         if s.ev.instr.opcode = Isa.Opcode.Store && s.ev.mem_addr >= 0 then
-          ignore (Mem.Hierarchy.dwrite hier ~now ~pc:s.ev.pc s.ev.mem_addr);
+          ignore (Mem.Hierarchy.dwrite_lat hier ~now ~pc:s.ev.pc s.ev.mem_addr);
         retire now s;
         decr budget
       end
@@ -426,24 +491,27 @@ let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit ?probe
   in
 
   let do_completions now =
-    match Int_tbl.find_opt calendar now with
-    | None -> ()
-    | Some finished ->
-      Int_tbl.remove calendar now;
-      List.iter
-        (fun s ->
-          let deps = s.dependents in
-          for k = 0 to s.ndeps - 1 do
-            let dep = slot_at deps.(k) in
-            if checks && dep.idx <> deps.(k) then
-              invariant_fail
-                "dependent slot %d recycled while producer %d in flight"
-                deps.(k) s.idx;
-            dep.waiting_on <- dep.waiting_on - 1;
-            if dep.ready_time < now then dep.ready_time <- now
-          done;
-          s.ndeps <- 0)
-        finished
+    let b = now mod !wsize in
+    let n = !wlen.(b) in
+    if n > 0 then begin
+      let arr = !wheel.(b) in
+      for k = 0 to n - 1 do
+        let s = slot_at arr.(k) in
+        let deps = s.dependents in
+        for j = 0 to s.ndeps - 1 do
+          let dep = slot_at deps.(j) in
+          if checks && dep.idx <> deps.(j) then
+            invariant_fail
+              "dependent slot %d recycled while producer %d in flight"
+              deps.(j) s.idx;
+          dep.waiting_on <- dep.waiting_on - 1;
+          if dep.ready_time < now then dep.ready_time <- now
+        done;
+        s.ndeps <- 0
+      done;
+      !wlen.(b) <- 0;
+      wcount := !wcount - n
+    end
   in
 
   let unit_available now (op : Isa.Opcode.t) ~alu ~mul ~mem ~fp ~br =
@@ -494,12 +562,11 @@ let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit ?probe
     let completion =
       match s.ev.instr.opcode with
       | Isa.Opcode.Load when s.ev.mem_addr >= 0 ->
-        let o = Mem.Hierarchy.dread hier ~now ~pc:s.ev.pc s.ev.mem_addr in
-        now + 1 + o.latency
+        now + 1 + Mem.Hierarchy.dread_lat hier ~now ~pc:s.ev.pc s.ev.mem_addr
       | Isa.Opcode.Store -> now + 1
       | op -> now + Isa.Opcode.exec_latency op
     in
-    schedule_completion s completion
+    schedule_completion ~now s completion
   in
 
   (* Issue-stage scratch state, allocated once per run (not per cycle):
@@ -570,57 +637,96 @@ let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit ?probe
     end
   in
 
+  (* Rename scratch: the distinct producers seen for the instruction
+     being renamed (at most one per register read — a handful).  A
+     reused array instead of a consed list, and the instruction's
+     register lists are walked directly instead of through
+     [Instr.regs_read]/[regs_written], whose Store/writer cases build a
+     fresh list per call. *)
+  let seen = ref (Array.make 8 no_slot) in
+  let seen_n = ref 0 in
+  let note_read now (s : slot) ri =
+    let producer = rename_table.(ri) in
+    (* [no_slot]: no writer yet.  A stamp mismatch means the record was
+       recycled, so the original writer retired — for which every
+       branch below is a no-op. *)
+    if
+      producer != no_slot && producer != s
+      && producer.idx = rename_stamp.(ri)
+    then begin
+      let dup = ref false in
+      for k = 0 to !seen_n - 1 do
+        if !seen.(k) == producer then dup := true
+      done;
+      if not !dup then begin
+        if !seen_n = Array.length !seen then begin
+          let grown = Array.make (2 * !seen_n) no_slot in
+          Array.blit !seen 0 grown 0 !seen_n;
+          seen := grown
+        end;
+        !seen.(!seen_n) <- producer;
+        incr seen_n;
+        if producer.committed < 0 then producer.fanout <- producer.fanout + 1;
+        if producer.completed < 0 then begin
+          (* completion time unknown: wait for wake-up *)
+          add_dependent producer s;
+          s.waiting_on <- s.waiting_on + 1
+        end
+        else if producer.completed > now then begin
+          if producer.completed > s.ready_time then
+            s.ready_time <- producer.completed
+        end
+      end
+    end
+  in
+  let rec note_reads now s = function
+    | [] -> ()
+    | r :: tl ->
+      note_read now s (Isa.Reg.index r);
+      note_reads now s tl
+  in
+
   let do_rename now =
     let budget = ref cfg.width in
     let continue = ref true in
     while
       !continue && !budget > 0
-      && (not (Queue.is_empty decode_q))
-      && Queue.length rob < cfg.rob
+      && (not (iring_is_empty decode_q))
+      && rob.n < cfg.rob
       && !iq_len < cfg.iq
     do
-      let s = Queue.peek decode_q in
+      let s = slot_at (iring_peek decode_q) in
       if s.decoded >= 0 && s.decoded < now then begin
-        ignore (Queue.pop decode_q);
+        ignore (iring_pop decode_q);
         s.renamed <- now;
         s.ready_time <- now + 1;
-        let seen = ref [] in
-        List.iter
-          (fun r ->
+        seen_n := 0;
+        note_reads now s s.ev.instr.srcs;
+        (match s.ev.instr.opcode with
+        | Isa.Opcode.Store ->
+          (* A store also reads its data "dst" (cf. Instr.regs_read). *)
+          (match s.ev.instr.dst with
+          | Some r -> note_read now s (Isa.Reg.index r)
+          | None -> ())
+        | _ -> ());
+        if checks && !seen_n > 0 then begin
+          let ps = ref [] in
+          for k = !seen_n - 1 downto 0 do
+            let p = !seen.(k) in
+            ps := (p, p.idx) :: !ps
+          done;
+          Hashtbl.replace producers s.idx !ps
+        end;
+        (match s.ev.instr.opcode with
+        | Isa.Opcode.Store | Isa.Opcode.Branch -> ()
+        | _ -> (
+          match s.ev.instr.dst with
+          | Some r ->
             let ri = Isa.Reg.index r in
-            match rename_table.(ri) with
-            | Some producer
-              when producer.idx = rename_stamp.(ri) && producer != s ->
-              if not (List.memq producer !seen) then begin
-                seen := producer :: !seen;
-                if producer.committed < 0 then
-                  producer.fanout <- producer.fanout + 1;
-                if producer.completed < 0 then begin
-                  (* completion time unknown: wait for wake-up *)
-                  add_dependent producer s;
-                  s.waiting_on <- s.waiting_on + 1
-                end
-                else if producer.completed > now then begin
-                  if producer.completed > s.ready_time then
-                    s.ready_time <- producer.completed
-                end
-              end
-            | _ ->
-              (* No writer yet, or a stamp mismatch: the record was
-                 recycled, so the original writer retired — for which
-                 every branch above is a no-op. *)
-              ())
-          (Isa.Instr.regs_read s.ev.instr);
-        if checks && !seen <> [] then
-          Hashtbl.replace producers s.idx
-            (List.map (fun (p : slot) -> (p, p.idx)) !seen);
-        List.iter
-          (fun r ->
-            let ri = Isa.Reg.index r in
-            rename_table.(ri) <- Some s;
-            rename_stamp.(ri) <- s.idx)
-          (Isa.Instr.regs_written s.ev.instr);
-        Queue.add s rob;
+            rename_table.(ri) <- s;
+            rename_stamp.(ri) <- s.idx
+          | None -> ()));
+        iring_push rob s.idx;
         iq_push s;
         s.in_iq <- true;
         decr budget
@@ -635,12 +741,12 @@ let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit ?probe
       let continue = ref true in
       while
         !continue && !budget > 0
-        && (not (Queue.is_empty fetch_q))
-        && Queue.length decode_q < cfg.decode_queue
+        && (not (iring_is_empty fetch_q))
+        && decode_q.n < cfg.decode_queue
       do
-        let s = Queue.peek fetch_q in
+        let s = slot_at (iring_peek fetch_q) in
         if s.fetched >= 0 && s.fetched < now then begin
-          ignore (Queue.pop fetch_q);
+          ignore (iring_pop fetch_q);
           s.decoded <- now;
           decr budget;
           if s.ev.instr.opcode = Isa.Opcode.Cdp_switch then begin
@@ -666,7 +772,7 @@ let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit ?probe
                 ~penalty:cfg.cdp_decode_penalty
             | None -> ()
           end
-          else Queue.add s decode_q
+          else iring_push decode_q s.idx
         end
         else continue := false
       done
@@ -680,23 +786,22 @@ let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit ?probe
   let blocked_bp = ref false in
   let stop = ref false in
   let do_fetch now =
-    match peek_head () with
-    | None -> ()
-    | Some first ->
+    let first = peek_head () in
+    if first != no_slot then begin
       if checks then incr fetch_live;
       if first.fetch_request < 0 then first.fetch_request <- now;
       (* Redirect pending: wait for the mispredicted branch to resolve. *)
       let blocked_redirect =
-        match !pending_mispredict with
-        | None -> false
-        | Some b ->
-          if b.completed >= 0 && now >= b.completed + cfg.mispredict_penalty
-          then begin
-            pending_mispredict := None;
-            cur_line := -1;
-            false
-          end
-          else true
+        let b = !pending_mispredict in
+        if b == no_slot then false
+        else if
+          b.completed >= 0 && now >= b.completed + cfg.mispredict_penalty
+        then begin
+          pending_mispredict := no_slot;
+          cur_line := -1;
+          false
+        end
+        else true
       in
       if blocked_redirect || now < !fetch_resume_at then begin
         (* Wrong-path modelling: while waiting on an unresolved branch
@@ -706,16 +811,16 @@ let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit ?probe
            hardware.  The wrong-path instructions themselves are not
            simulated (their results are squashed). *)
         if blocked_redirect && cfg.wrong_path_fetch then begin
-          match !pending_mispredict with
-          | Some b ->
+          let b = !pending_mispredict in
+          if b != no_slot then begin
             let line = cfg.mem.line_bytes in
             let ahead =
               let d = now - b.fetched in
               if d <= 0 then 0 else if d >= 8 then 8 else d
             in
             let wrong_pc = b.ev.pc + b.ev.size + (line * ahead) in
-            ignore (Mem.Hierarchy.ifetch hier ~now wrong_pc)
-          | None -> ()
+            ignore (Mem.Hierarchy.ifetch_lat hier ~now wrong_pc)
+          end
         end;
         incr pending_stall_i;
         incr idle_supply
@@ -727,11 +832,11 @@ let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit ?probe
         blocked_bp := false;
         stop := false;
         while not !stop do
-          match peek_head () with
-          | None -> stop := true
-          | Some s ->
+          let s = peek_head () in
+          if s == no_slot then stop := true
+          else begin
             if s.fetch_request < 0 then s.fetch_request <- now;
-            if Queue.length fetch_q >= cfg.fetch_queue then begin
+            if fetch_q.n >= cfg.fetch_queue then begin
               blocked_bp := true;
               stop := true
             end
@@ -742,11 +847,11 @@ let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit ?probe
                 stop := true
               else begin
                 if line <> !cur_line then begin
-                  let o = Mem.Hierarchy.ifetch hier ~now s.ev.pc in
+                  let lat = Mem.Hierarchy.ifetch_lat hier ~now s.ev.pc in
                   new_line_accessed := true;
                   cur_line := line;
-                  if o.latency > cfg.mem.l1i_hit then begin
-                    fetch_resume_at := now + o.latency - cfg.mem.l1i_hit;
+                  if lat > cfg.mem.l1i_hit then begin
+                    fetch_resume_at := now + lat - cfg.mem.l1i_hit;
                     stop := true
                   end
                 end;
@@ -756,7 +861,7 @@ let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit ?probe
                   s.fetched <- now;
                   s.stall_i <- s.stall_i + !pending_stall_i;
                   s.stall_bp <- s.stall_bp + !pending_stall_bp;
-                  Queue.add s fetch_q;
+                  iring_push fetch_q s.idx;
                   fetched_any := true;
                   advance_head ();
                   (* Optimization hooks that observe the fetch stream. *)
@@ -780,7 +885,7 @@ let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit ?probe
                         ~taken:s.ev.taken
                     in
                     if not correct then begin
-                      pending_mispredict := Some s;
+                      pending_mispredict := s;
                       stop := true
                     end
                     else if s.ev.taken then stop := true
@@ -789,6 +894,7 @@ let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit ?probe
                 end
               end
             end
+          end
         done;
         if !fetched_any then begin
           if checks then incr fetch_active;
@@ -804,6 +910,7 @@ let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit ?probe
           incr idle_supply
         end
       end
+    end
   in
 
   (* ------------------------------ main loop ------------------------ *)
@@ -813,9 +920,9 @@ let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit ?probe
   let now = ref 0 in
   let finished () =
     !exhausted
-    && (match !head with None -> true | Some _ -> false)
-    && Queue.is_empty fetch_q && Queue.is_empty decode_q
-    && Queue.is_empty rob
+    && !head == no_slot
+    && iring_is_empty fetch_q && iring_is_empty decode_q
+    && iring_is_empty rob
   in
   (* Cooperative deadline: the fuel budget bounds simulated cycles, so a
      runaway or stalled job aborts deterministically at the same cycle
@@ -851,9 +958,9 @@ let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit ?probe
       invariant_fail "committed %d of %d trace events" !committed_total n;
     if !iq_len <> 0 then
       invariant_fail "issue queue not drained (%d entries left)" !iq_len;
-    if Int_tbl.length calendar <> 0 then
-      invariant_fail "completion calendar not drained (%d cycles pending)"
-        (Int_tbl.length calendar);
+    if !wcount <> 0 then
+      invariant_fail "completion calendar not drained (%d entries pending)"
+        !wcount;
     if Hashtbl.length producers <> 0 then
       invariant_fail "producer bookkeeping not drained (%d entries)"
         (Hashtbl.length producers);

@@ -122,27 +122,12 @@ let of_string ?path text =
       format_version
   | [] -> Util.Err.failf Corrupt_input "Db_io %s: empty input" where
 
-(* Crash-safe: serialize to [path ^ ".tmp"], flush + close, then rename
-   over the target.  A crash mid-write leaves the previous database (or
-   nothing) plus a stray .tmp — never a truncated file that a later
-   [load] would half-parse. *)
+(* Crash-safe via the shared tmp+rename discipline: a crash mid-write
+   leaves the previous database (or nothing) plus a stray .tmp — never
+   a truncated file that a later [load] would half-parse. *)
 let save db path =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  (try
-     output_string oc (to_string db);
-     close_out oc
-   with e ->
-     close_out_noerr oc;
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
-  Sys.rename tmp path
+  Util.Atomic_io.write path (to_string db)
 
-let load path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let n = in_channel_length ic in
-      really_input_string ic n)
-  |> of_string ~path
+let sweep_tmp dir = Util.Atomic_io.sweep_tmp dir
+
+let load path = Util.Atomic_io.read_file path |> of_string ~path

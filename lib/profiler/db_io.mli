@@ -24,6 +24,11 @@ val load : string -> Critic_db.t
     [Util.Err.Error] with kind [Corrupt_input] — naming the file path
     and line number — on malformed input. *)
 
+val sweep_tmp : string -> int
+(** Remove stale [*.tmp] orphans an interrupted {!save} may have left
+    in a database directory; returns the number removed.  Call at
+    startup, before any concurrent saver is live. *)
+
 val to_string : Critic_db.t -> string
 
 val of_string : ?path:string -> string -> Critic_db.t

@@ -265,22 +265,32 @@ module Stream = struct
     { buf = tr; pos = 0; lim = Array.length tr;
       refill = (fun c -> c.pos <- 0; c.lim <- 0) }
 
-  let next c =
+  (* Physically distinct from every event a cursor can deliver (buffers
+     are overwritten up to [lim] before delivery), so [next_ev] callers
+     detect end of stream with one pointer comparison instead of paying
+     a [Some] allocation per event. *)
+  let end_marker = { dummy_event with seq = -1 }
+
+  let next_ev c =
     if c.pos < c.lim then begin
       let e = c.buf.(c.pos) in
       c.pos <- c.pos + 1;
-      Some e
+      e
     end
-    else if c.lim = 0 then None
+    else if c.lim = 0 then end_marker
     else begin
       c.refill c;
       if c.pos < c.lim then begin
         let e = c.buf.(c.pos) in
         c.pos <- c.pos + 1;
-        Some e
+        e
       end
-      else None
+      else end_marker
     end
+
+  let next c =
+    let e = next_ev c in
+    if e == end_marker then None else Some e
 
   let peek c =
     if c.pos < c.lim then Some c.buf.(c.pos)

@@ -46,6 +46,15 @@ module Stream : sig
   val next : cursor -> event option
   (** Consume and return the next event, or [None] at end of stream. *)
 
+  val end_marker : event
+  (** Sentinel returned by {!next_ev} at end of stream.  Physically
+      distinct from every deliverable event; never store it in a
+      trace. *)
+
+  val next_ev : cursor -> event
+  (** Allocation-free {!next}: returns {!end_marker} (compare with
+      [==]) instead of wrapping each event in [Some]. *)
+
   val peek : cursor -> event option
   (** Return the next event without consuming it. *)
 

@@ -1,0 +1,178 @@
+let format_version = "critics-store-1"
+
+let code_version_memo = ref None
+
+let code_version () =
+  match !code_version_memo with
+  | Some v -> v
+  | None ->
+    let v =
+      try
+        let ic =
+          Unix.open_process_in "git describe --always --dirty 2>/dev/null"
+        in
+        let line = try input_line ic with End_of_file -> "" in
+        ignore (Unix.close_process_in ic);
+        if line = "" then "unknown" else line
+      with _ -> "unknown"
+    in
+    code_version_memo := Some v;
+    v
+
+type t = {
+  dir : string;
+  mutable hits : int;
+  mutable misses : int;
+  mutable writes : int;
+  mutable corrupt : int;
+}
+
+let mkdir_p path =
+  let rec go path =
+    if not (Sys.file_exists path) then begin
+      go (Filename.dirname path);
+      try Unix.mkdir path 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go path;
+  if not (Sys.is_directory path) then
+    raise (Sys_error (path ^ ": not a directory"))
+
+let open_dir dir =
+  mkdir_p dir;
+  ignore (Util.Atomic_io.sweep_tmp dir);
+  Array.iter
+    (fun name ->
+      let sub = Filename.concat dir name in
+      if Sys.is_directory sub then ignore (Util.Atomic_io.sweep_tmp sub))
+    (Sys.readdir dir);
+  { dir; hits = 0; misses = 0; writes = 0; corrupt = 0 }
+
+let open_default () =
+  match Sys.getenv_opt "CRITICS_CACHE_DIR" with
+  | None | Some "" -> None
+  | Some dir -> Some (open_dir dir)
+
+let dir t = t.dir
+
+type key = { kind : string; digest : string (* hex *) }
+
+(* Length-framed concatenation: no choice of part contents can make two
+   distinct part lists serialize identically. *)
+let key ?code_version:cv ~kind parts =
+  if String.contains kind '/' then invalid_arg "Store.key: kind with '/'";
+  let cv = match cv with Some v -> v | None -> code_version () in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun part ->
+      Buffer.add_string buf (string_of_int (String.length part));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf part)
+    (format_version :: cv :: kind :: parts);
+  { kind; digest = Digest.to_hex (Digest.string (Buffer.contents buf)) }
+
+let key_digest k = k.digest
+
+let path_of t k = Filename.concat (Filename.concat t.dir k.kind) k.digest
+
+(* Entry layout: one header line binding the payload to its key —
+   "<format_version> <key-digest> <payload-md5> <payload-length>\n" —
+   then the raw payload bytes. *)
+let encode k payload =
+  Printf.sprintf "%s %s %s %d\n%s" format_version k.digest
+    (Digest.to_hex (Digest.string payload))
+    (String.length payload) payload
+
+let decode k text =
+  match String.index_opt text '\n' with
+  | None -> None
+  | Some nl ->
+    let header = String.sub text 0 nl in
+    (match String.split_on_char ' ' header with
+    | [ fmt; kd; pd; len ] ->
+      let payload_pos = nl + 1 in
+      (match int_of_string_opt len with
+      | Some n
+        when fmt = format_version && kd = k.digest
+             && String.length text - payload_pos = n ->
+        let payload = String.sub text payload_pos n in
+        if Digest.to_hex (Digest.string payload) = pd then Some payload
+        else None
+      | _ -> None)
+    | _ -> None)
+
+let find t k =
+  let path = path_of t k in
+  match Util.Atomic_io.read_file path with
+  | exception Sys_error _ ->
+    t.misses <- t.misses + 1;
+    None
+  | text -> (
+    match decode k text with
+    | Some payload ->
+      t.hits <- t.hits + 1;
+      Some payload
+    | None ->
+      (* Truncation, corruption or collision: drop the entry and fall
+         back to recompute — never a crash, never a wrong payload. *)
+      t.corrupt <- t.corrupt + 1;
+      t.misses <- t.misses + 1;
+      (try Sys.remove path with Sys_error _ -> ());
+      None)
+
+let add t k payload =
+  try
+    mkdir_p (Filename.concat t.dir k.kind);
+    Util.Atomic_io.write (path_of t k) (encode k payload);
+    t.writes <- t.writes + 1
+  with Sys_error _ | Unix.Unix_error _ -> ()
+
+type stats = { hits : int; misses : int; writes : int; corrupt : int }
+
+let stats (t : t) =
+  { hits = t.hits; misses = t.misses; writes = t.writes; corrupt = t.corrupt }
+
+let fold_entries t f init =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> init
+  | kinds ->
+    Array.fold_left
+      (fun acc kind ->
+        let sub = Filename.concat t.dir kind in
+        if not (Sys.is_directory sub) then acc
+        else
+          Array.fold_left
+            (fun acc name -> f acc (Filename.concat sub name))
+            acc (Sys.readdir sub))
+      init kinds
+
+let entry_count t = fold_entries t (fun n _ -> n + 1) 0
+
+let total_bytes t =
+  fold_entries t
+    (fun n path ->
+      match Unix.stat path with
+      | { Unix.st_size; _ } -> n + st_size
+      | exception Unix.Unix_error _ -> n)
+    0
+
+let clear t =
+  fold_entries t
+    (fun n path ->
+      match Sys.remove path with
+      | () -> n + 1
+      | exception Sys_error _ -> n)
+    0
+
+let publish (t : t) registry =
+  let count name v =
+    Telemetry.Registry.add (Telemetry.Registry.counter registry name) v
+  in
+  count "store/hit" t.hits;
+  count "store/miss" t.misses;
+  count "store/write" t.writes;
+  count "store/corrupt" t.corrupt;
+  Telemetry.Registry.set_max
+    (Telemetry.Registry.gauge registry "store/bytes")
+    (total_bytes t)

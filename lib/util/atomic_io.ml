@@ -1,0 +1,30 @@
+let write path data =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc data;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let sweep_tmp dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | entries ->
+    Array.fold_left
+      (fun n name ->
+        if Filename.check_suffix name ".tmp" then begin
+          (try Sys.remove (Filename.concat dir name) with Sys_error _ -> ());
+          n + 1
+        end
+        else n)
+      0 entries

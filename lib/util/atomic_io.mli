@@ -1,0 +1,19 @@
+(** Crash-safe file writes via the tmp+rename discipline.
+
+    [write] serializes to [path ^ ".tmp"], flushes and closes, then
+    renames over the target: a crash mid-write leaves the previous file
+    (or nothing) plus a stray [.tmp] — never a truncated file a later
+    reader would half-parse.  [sweep_tmp] is the matching startup
+    cleanup for directories of atomically-written files. *)
+
+val write : string -> string -> unit
+(** [write path data] atomically replaces [path] with [data]. *)
+
+val read_file : string -> string
+(** Whole-file read (binary).  Raises [Sys_error] if unreadable. *)
+
+val sweep_tmp : string -> int
+(** Remove every [*.tmp] orphan left in the directory by interrupted
+    {!write}s.  Returns the number removed; 0 for a missing directory.
+    Only safe to call when no writer is concurrently mid-[write] in the
+    directory (i.e. at startup/open time). *)

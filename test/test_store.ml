@@ -1,0 +1,367 @@
+(* Prepared-context store: key invalidation, corruption fallback,
+   crash-orphan sweep, LRU resident-context bound, warm-harness reuse,
+   and the allocation-free simulator-core contract this PR's perf work
+   rests on. *)
+
+let fresh_dir () =
+  let path = Filename.temp_file "critics-store" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let with_store f =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () -> f dir (Store.open_dir dir))
+
+let app name = Option.get (Workload.Apps.find name)
+
+(* ------------------------------------------------------------------ *)
+(* Keys                                                               *)
+
+let test_key_deterministic () =
+  let k1 = Store.key ~kind:"blob" [ "a"; "bc" ]
+  and k2 = Store.key ~kind:"blob" [ "a"; "bc" ] in
+  Alcotest.(check string)
+    "same inputs, same digest" (Store.key_digest k1) (Store.key_digest k2)
+
+let test_key_framing () =
+  (* length framing: part boundaries must not alias *)
+  let k1 = Store.key ~kind:"blob" [ "ab"; "c" ]
+  and k2 = Store.key ~kind:"blob" [ "a"; "bc" ]
+  and k3 = Store.key ~kind:"blob" [ "abc" ] in
+  let d1 = Store.key_digest k1
+  and d2 = Store.key_digest k2
+  and d3 = Store.key_digest k3 in
+  Alcotest.(check bool) "ab|c <> a|bc" true (d1 <> d2);
+  Alcotest.(check bool) "ab|c <> abc" true (d1 <> d3)
+
+let test_key_kind_and_code_version () =
+  let d kind cv = Store.key_digest (Store.key ~code_version:cv ~kind [ "x" ]) in
+  Alcotest.(check bool) "kind changes digest" true (d "a" "v1" <> d "b" "v1");
+  Alcotest.(check bool)
+    "code version changes digest" true
+    (d "a" "v1" <> d "a" "v2")
+
+let test_context_key_sensitivity () =
+  let acrobat = app "Acrobat" in
+  let base = Store.key_digest (Critics.Run.context_key acrobat) in
+  let again = Store.key_digest (Critics.Run.context_key acrobat) in
+  Alcotest.(check string) "stable across calls" base again;
+  (* every preparation parameter and the profile bytes must invalidate *)
+  let changed =
+    [
+      ( "profile bytes",
+        Store.key_digest
+          (Critics.Run.context_key { acrobat with seed = acrobat.seed + 1 }) );
+      ("instrs", Store.key_digest (Critics.Run.context_key ~instrs:7 acrobat));
+      ("sample", Store.key_digest (Critics.Run.context_key ~sample:3 acrobat));
+      ( "profile_window",
+        Store.key_digest (Critics.Run.context_key ~profile_window:64 acrobat) );
+      ( "threshold",
+        Store.key_digest (Critics.Run.context_key ~threshold:9.5 acrobat) );
+      ( "profile_fraction",
+        Store.key_digest (Critics.Run.context_key ~profile_fraction:0.5 acrobat)
+      );
+    ]
+  in
+  List.iter
+    (fun (what, d) ->
+      Alcotest.(check bool) (what ^ " invalidates") true (d <> base))
+    changed
+
+let test_config_bytes_invalidate () =
+  (* the harness keys simulation results on a digest of the marshalled
+     Config.t: any field change must produce a different store key *)
+  let fp (c : Pipeline.Config.t) = Digest.string (Marshal.to_string c []) in
+  let base = Pipeline.Config.table_i in
+  let tweaked = { base with rob = base.rob + 1 } in
+  let d c = Store.key_digest (Store.key ~kind:"stats" [ "ctx"; "IC+"; fp c ]) in
+  Alcotest.(check bool)
+    "Config.t field change invalidates" true
+    (d base <> d tweaked);
+  Alcotest.(check string) "equal configs agree" (d base) (d { base with rob = base.rob })
+
+(* ------------------------------------------------------------------ *)
+(* Entries                                                            *)
+
+let test_roundtrip_bytes () =
+  with_store (fun _dir st ->
+      let k = Store.key ~kind:"blob" [ "payload-1" ] in
+      let payload = String.init 4096 (fun i -> Char.chr (i * 31 land 0xff)) in
+      Alcotest.(check (option string)) "cold miss" None (Store.find st k);
+      Store.add st k payload;
+      Alcotest.(check (option string))
+        "hit is byte-identical" (Some payload) (Store.find st k);
+      let s = Store.stats st in
+      Alcotest.(check int) "one miss" 1 s.misses;
+      Alcotest.(check int) "one hit" 1 s.hits;
+      Alcotest.(check int) "one write" 1 s.writes;
+      Alcotest.(check int) "no corruption" 0 s.corrupt)
+
+let test_fuzzed_program_roundtrip () =
+  (* round-trip property over fuzzed programs: store-served bytes
+     rebuild a structurally identical program for arbitrary genomes *)
+  with_store (fun _dir st ->
+      for seed = 0 to 24 do
+        let p = Workload.Fuzz.program_of_seed seed in
+        let bytes = Marshal.to_string p [] in
+        let k = Store.key ~kind:"program" [ "fuzz"; string_of_int seed ] in
+        Store.add st k bytes;
+        match Store.find st k with
+        | None -> Alcotest.failf "seed %d: stored program missing" seed
+        | Some b ->
+          let p' : Prog.Program.t = Marshal.from_string b 0 in
+          Alcotest.(check string)
+            (Printf.sprintf "seed %d rebuilds identically" seed)
+            (Digest.string bytes)
+            (Digest.string (Marshal.to_string p' []))
+      done)
+
+let test_corruption_falls_back () =
+  with_store (fun dir st ->
+      let k = Store.key ~kind:"blob" [ "to-corrupt" ] in
+      Store.add st k "precious bytes";
+      let path = Filename.concat (Filename.concat dir "blob") (Store.key_digest k) in
+      Alcotest.(check bool) "entry on disk" true (Sys.file_exists path);
+      (* flip a payload byte in place *)
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+      ignore (Unix.lseek fd (-3) Unix.SEEK_END);
+      ignore (Unix.write_substring fd "X" 0 1);
+      Unix.close fd;
+      Alcotest.(check (option string))
+        "corrupt entry reads as miss" None (Store.find st k);
+      Alcotest.(check int) "counted as corrupt" 1 (Store.stats st).corrupt;
+      Alcotest.(check bool) "corrupt entry removed" false (Sys.file_exists path);
+      (* recompute-and-add recovers *)
+      Store.add st k "precious bytes";
+      Alcotest.(check (option string))
+        "recovers after re-add" (Some "precious bytes") (Store.find st k))
+
+let test_version_mismatch_misses () =
+  with_store (fun _dir st ->
+      let k_old = Store.key ~code_version:"build-1" ~kind:"blob" [ "x" ] in
+      let k_new = Store.key ~code_version:"build-2" ~kind:"blob" [ "x" ] in
+      Store.add st k_old "old artifact";
+      Alcotest.(check (option string))
+        "new code version misses old entry" None (Store.find st k_new);
+      Alcotest.(check (option string))
+        "old key still hits" (Some "old artifact") (Store.find st k_old))
+
+let test_clear_and_sizes () =
+  with_store (fun _dir st ->
+      Store.add st (Store.key ~kind:"a" [ "1" ]) "xx";
+      Store.add st (Store.key ~kind:"b" [ "2" ]) "yyyy";
+      Alcotest.(check int) "two entries" 2 (Store.entry_count st);
+      Alcotest.(check bool) "bytes counted" true (Store.total_bytes st > 6);
+      Alcotest.(check int) "clear removes both" 2 (Store.clear st);
+      Alcotest.(check int) "empty after clear" 0 (Store.entry_count st))
+
+(* ------------------------------------------------------------------ *)
+(* Crash-orphan sweep                                                 *)
+
+let test_store_sweeps_orphans () =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let sub = Filename.concat dir "context" in
+      Unix.mkdir sub 0o755;
+      let plant path =
+        let oc = open_out path in
+        output_string oc "half-written";
+        close_out oc
+      in
+      let orphan_top = Filename.concat dir "dead.tmp"
+      and orphan_sub = Filename.concat sub "dead.tmp"
+      and survivor = Filename.concat sub "0123456789abcdef" in
+      plant orphan_top;
+      plant orphan_sub;
+      plant survivor;
+      let st = Store.open_dir dir in
+      Alcotest.(check bool) "top orphan swept" false (Sys.file_exists orphan_top);
+      Alcotest.(check bool) "kind orphan swept" false (Sys.file_exists orphan_sub);
+      Alcotest.(check bool) "non-tmp survives" true (Sys.file_exists survivor);
+      ignore st)
+
+let test_db_io_sweeps_orphans () =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let orphan = Filename.concat dir "profile.db.tmp" in
+      let oc = open_out orphan in
+      output_string oc "torn write";
+      close_out oc;
+      Alcotest.(check int) "one orphan swept" 1 (Profiler.Db_io.sweep_tmp dir);
+      Alcotest.(check bool) "orphan gone" false (Sys.file_exists orphan);
+      Alcotest.(check int) "idempotent" 0 (Profiler.Db_io.sweep_tmp dir))
+
+(* ------------------------------------------------------------------ *)
+(* Prepared-context reuse                                             *)
+
+let small_instrs = 2_000
+
+let ctx_digest (ctx : Critics.Run.app_context) =
+  Digest.string
+    (Marshal.to_string (ctx.program, ctx.seed, ctx.path, ctx.event_count, ctx.db) [])
+
+let test_prepare_warm_identical () =
+  with_store (fun _dir st ->
+      let cold = Critics.Run.prepare ~store:st ~instrs:small_instrs (app "Acrobat") in
+      Alcotest.(check bool) "cold run wrote" true ((Store.stats st).writes > 0);
+      let warm = Critics.Run.prepare ~store:st ~instrs:small_instrs (app "Acrobat") in
+      Alcotest.(check bool) "warm run hit" true ((Store.stats st).hits > 0);
+      Alcotest.(check string) "same fingerprint" cold.ckey warm.ckey;
+      Alcotest.(check string)
+        "store-served context bit-identical" (ctx_digest cold) (ctx_digest warm))
+
+let test_transform_served_from_store () =
+  with_store (fun _dir st ->
+      let cold = Critics.Run.prepare ~store:st ~instrs:small_instrs (app "Email") in
+      let p_cold = Critics.Run.transformed cold Critics.Scheme.Critic in
+      Alcotest.(check int) "cold ran the compiler" 1 (Critics.Run.transform_count cold);
+      let warm = Critics.Run.prepare ~store:st ~instrs:small_instrs (app "Email") in
+      let p_warm = Critics.Run.transformed warm Critics.Scheme.Critic in
+      Alcotest.(check int)
+        "warm skipped the compiler" 0 (Critics.Run.transform_count warm);
+      Alcotest.(check string) "identical transformed program"
+        (Digest.string (Marshal.to_string p_cold []))
+        (Digest.string (Marshal.to_string p_warm [])))
+
+let test_harness_warm_stats () =
+  with_store (fun _dir st ->
+      let stats h =
+        Experiments.Harness.stats h (app "Acrobat") Critics.Scheme.Critic
+      in
+      let h1 = Experiments.Harness.create ~instrs:small_instrs ~jobs:1 ~store:st () in
+      let s1 = stats h1 in
+      let writes_after_cold = (Store.stats st).writes in
+      Alcotest.(check bool) "cold harness wrote" true (writes_after_cold > 0);
+      let h2 = Experiments.Harness.create ~instrs:small_instrs ~jobs:1 ~store:st () in
+      let s2 = stats h2 in
+      Alcotest.(check bool) "warm harness hit" true ((Store.stats st).hits > 0);
+      Alcotest.(check int)
+        "no new writes on warm run" writes_after_cold (Store.stats st).writes;
+      Alcotest.(check string) "bit-identical stats"
+        (Digest.string (Marshal.to_string s1 []))
+        (Digest.string (Marshal.to_string s2 [])))
+
+let test_lru_context_cap () =
+  let apps = [ "Acrobat"; "Email"; "Youtube"; "Angrybirds" ] in
+  with_store (fun _dir st ->
+      let h =
+        Experiments.Harness.create ~instrs:small_instrs ~jobs:1 ~store:st
+          ~context_cap:2 ()
+      in
+      let digests =
+        List.map (fun n -> ctx_digest (Experiments.Harness.context h (app n))) apps
+      in
+      Alcotest.(check bool)
+        "resident bounded by cap" true
+        (Experiments.Harness.resident_contexts h <= 2);
+      Alcotest.(check bool)
+        "evictions happened" true
+        (Experiments.Harness.context_evictions h >= 2);
+      (* evicted contexts come back transparently — and identically *)
+      List.iter2
+        (fun n d ->
+          Alcotest.(check string)
+            (n ^ " reloads identically") d
+            (ctx_digest (Experiments.Harness.context h (app n))))
+        apps digests;
+      Alcotest.(check bool)
+        "still bounded after reloads" true
+        (Experiments.Harness.resident_contexts h <= 2))
+
+(* ------------------------------------------------------------------ *)
+(* Allocation-free windowed core                                      *)
+
+let test_window_loop_allocation_free () =
+  (* The per-cycle loop must be GC-silent: minor allocation for a run is
+     a setup constant plus a miss-bounded residue, not O(cycles).  Run
+     the same recorded trace at 1x and 4x length — setup is identical,
+     so the delta difference is the per-event cost.  The bound (0.5
+     words/event) leaves room for the miss-driven Hashtbl bookkeeping
+     while failing loudly if any per-cycle allocation returns. *)
+  let ctx = Critics.Run.prepare ~instrs:20_000 (app "Acrobat") in
+  let trace = Critics.Run.trace_of ctx Critics.Scheme.Baseline in
+  let big = Array.concat [ trace; trace; trace; trace ] in
+  let cfg = Pipeline.Config.table_i in
+  let run tr =
+    ignore
+      (Pipeline.Cpu.run_stream cfg (fun () -> Prog.Trace.Stream.of_trace tr))
+  in
+  run trace;
+  (* warm code paths *)
+  let measure tr =
+    let g0 = Gc.minor_words () in
+    run tr;
+    Gc.minor_words () -. g0
+  in
+  let d1 = measure trace in
+  let d4 = measure big in
+  let extra_events = 3 * Array.length trace in
+  let per_event = (d4 -. d1) /. float_of_int extra_events in
+  if per_event >= 0.5 then
+    Alcotest.failf
+      "window loop allocates %.3f minor words per event (1x=%.0f 4x=%.0f over \
+       %d extra events); the core is no longer allocation-free"
+      per_event d1 d4 extra_events
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "keys",
+        [
+          Alcotest.test_case "deterministic" `Quick test_key_deterministic;
+          Alcotest.test_case "length framing" `Quick test_key_framing;
+          Alcotest.test_case "kind and code version" `Quick
+            test_key_kind_and_code_version;
+          Alcotest.test_case "context key sensitivity" `Quick
+            test_context_key_sensitivity;
+          Alcotest.test_case "config bytes invalidate" `Quick
+            test_config_bytes_invalidate;
+        ] );
+      ( "entries",
+        [
+          Alcotest.test_case "byte-identical roundtrip" `Quick
+            test_roundtrip_bytes;
+          Alcotest.test_case "fuzzed program roundtrip" `Quick
+            test_fuzzed_program_roundtrip;
+          Alcotest.test_case "corruption falls back" `Quick
+            test_corruption_falls_back;
+          Alcotest.test_case "version mismatch misses" `Quick
+            test_version_mismatch_misses;
+          Alcotest.test_case "clear and sizes" `Quick test_clear_and_sizes;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "store sweeps orphans" `Quick
+            test_store_sweeps_orphans;
+          Alcotest.test_case "db_io sweeps orphans" `Quick
+            test_db_io_sweeps_orphans;
+        ] );
+      ( "reuse",
+        [
+          Alcotest.test_case "prepare warm identical" `Quick
+            test_prepare_warm_identical;
+          Alcotest.test_case "transform served from store" `Quick
+            test_transform_served_from_store;
+          Alcotest.test_case "harness warm stats" `Quick test_harness_warm_stats;
+          Alcotest.test_case "lru context cap" `Quick test_lru_context_cap;
+        ] );
+      ( "alloc",
+        [
+          Alcotest.test_case "window loop allocation-free" `Quick
+            test_window_loop_allocation_free;
+        ] );
+    ]

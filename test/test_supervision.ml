@@ -183,7 +183,13 @@ let test_backoff_deterministic_and_bounded () =
 (* ------------------------------ journal ---------------------------- *)
 
 let entry id ms : Experiments.Journal.entry =
-  { entry_id = id; wall_ms = ms; major_words = 123.0; top_heap_words = 456 }
+  {
+    entry_id = id;
+    wall_ms = ms;
+    minor_words = 789.0;
+    major_words = 123.0;
+    top_heap_words = 456;
+  }
 
 let test_journal_roundtrip () =
   let e = entry "tab1" 17.5 in
@@ -191,8 +197,20 @@ let test_journal_roundtrip () =
   | Some e' ->
     Alcotest.(check string) "id" e.entry_id e'.entry_id;
     Alcotest.(check (float 0.11)) "wall" e.wall_ms e'.wall_ms;
+    Alcotest.(check (float 0.1)) "minor" e.minor_words e'.minor_words;
     Alcotest.(check int) "heap" e.top_heap_words e'.top_heap_words
   | None -> Alcotest.fail "journal line does not parse back");
+  (* Pre-minor_words journal lines still parse (resume across the
+     version boundary), defaulting the missing field to 0. *)
+  (match
+     Experiments.Journal.of_line
+       "{ \"id\": \"tab1\", \"wall_ms\": 17.5, \"major_words\": 123, \
+        \"top_heap_words\": 456 }"
+   with
+  | Some e' ->
+    Alcotest.(check string) "legacy id" "tab1" e'.entry_id;
+    Alcotest.(check (float 0.1)) "legacy minor defaults" 0.0 e'.minor_words
+  | None -> Alcotest.fail "legacy journal line does not parse");
   Alcotest.(check bool) "garbage line rejected" true
     (Experiments.Journal.of_line "{ not json" = None)
 
