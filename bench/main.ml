@@ -242,7 +242,7 @@ let atomic_write path contents =
 let results_path = "BENCH_results.json"
 let journal_path = "BENCH_journal.jsonl"
 
-let tables ~jobs ~resume ~telemetry () =
+let tables ~jobs ~resume ~telemetry ~ablation () =
   Printf.printf
     "CritICs reproduction — regenerating every table and figure\n\
      (%d work instructions per app run; see EXPERIMENTS.md for the\n\
@@ -306,10 +306,13 @@ let tables ~jobs ~resume ~telemetry () =
       };
     r
   in
+  (* --ablation appends the opt-in artifacts (Experiments.extra) after
+     the paper's figure set; the default artifact list — and so the
+     recorded bench stdout — is unchanged without it. *)
   let entries =
     List.filter
       (fun (e : Experiments.entry) -> not (List.mem e.id skip))
-      Experiments.all
+      (Experiments.all @ if ablation then Experiments.extra else [])
   in
   let t_start = Unix.gettimeofday () in
   (* Evaluate every (app × scheme × config) job of every remaining
@@ -395,7 +398,8 @@ let tables ~jobs ~resume ~telemetry () =
 
 let usage () =
   prerr_endline
-    "usage: bench [--micro] [--jobs N] [--instrs N] [--resume]\n\n\
+    "usage: bench [--micro] [--jobs N] [--instrs N] [--resume] \
+     [--telemetry] [--ablation]\n\n\
      Regenerates every table and figure (default) or runs the Bechamel\n\
      micro-benchmarks (--micro).\n\n\
     \  --jobs N    domain-pool width (default: recommended domain count,\n\
@@ -408,7 +412,10 @@ let usage () =
     \  --telemetry attach cycle-attribution probes to every simulation and\n\
     \              embed per-artifact histogram summaries in\n\
     \              BENCH_results.json (off by default; stats are\n\
-    \              bit-identical either way)";
+    \              bit-identical either way)\n\
+    \  --ablation  also regenerate the opt-in artifacts beyond the paper's\n\
+    \              figure set (the nanopass pass-list ablations); the\n\
+    \              default artifact list is unchanged without it";
   exit 2
 
 let () =
@@ -419,6 +426,7 @@ let () =
   let micro_mode = ref false in
   let resume = ref false in
   let telemetry = ref false in
+  let ablation = ref false in
   let jobs = ref (Parallel.default_jobs ()) in
   let set_int name r v =
     match int_of_string_opt v with
@@ -435,6 +443,9 @@ let () =
       parse rest
     | "--telemetry" :: rest ->
       telemetry := true;
+      parse rest
+    | "--ablation" :: rest ->
+      ablation := true;
       parse rest
     | "--jobs" :: n :: rest ->
       set_int "--jobs" jobs n;
@@ -457,4 +468,6 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   if !micro_mode then micro ()
-  else tables ~jobs:!jobs ~resume:!resume ~telemetry:!telemetry ()
+  else
+    tables ~jobs:!jobs ~resume:!resume ~telemetry:!telemetry
+      ~ablation:!ablation ()

@@ -185,7 +185,9 @@ let schemes_cmd =
 
 let experiment_cmd =
   let id_arg =
-    let doc = "Experiment id (tab1, tab2, fig1, ..., ablations) or `all'." in
+    let doc =
+      "Experiment id (tab1, tab2, fig1, ..., ablations, nanopass) or `all'."
+    in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
   let jobs_arg =
@@ -208,7 +210,9 @@ let experiment_cmd =
         prerr_endline
           ("unknown experiment; available: all "
           ^ String.concat " "
-              (List.map (fun (e : Experiments.entry) -> e.id) Experiments.all));
+              (List.map
+                 (fun (e : Experiments.entry) -> e.id)
+                 (Experiments.all @ Experiments.extra)));
         exit 1
   in
   Cmd.v
@@ -547,26 +551,49 @@ let check_cmd =
     let doc = "Base fuzz seed; case $(i) uses seed SEED+$(i)." in
     Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
   in
-  let run cases seed =
+  let per_pass_arg =
+    let doc =
+      "Additionally run every nanopass pipeline variant with the \
+       architectural checker armed after every individual pass, \
+       attributing any divergence to the exact stage that introduced it."
+    in
+    Arg.(value & flag & info [ "per-pass" ] ~doc)
+  in
+  let run cases seed per_pass =
     let module D = Oracle.Differential in
     let failures = ref 0 in
     let events = ref 0 in
+    let pipelines = ref 0 in
     let report label = function
       | Ok n -> events := !events + n
       | Error msg ->
         incr failures;
         Printf.eprintf "FAIL %-24s %s\n%!" label msg
     in
+    (* [check_program] is [prepare] + [check_prepared]; preparing here
+       lets --per-pass reuse the walk/trace/profile for the pipeline
+       sweep without changing what the default mode runs. *)
+    let check_pipelines label prepared =
+      match D.check_pipelines prepared with
+      | Ok n -> pipelines := !pipelines + n
+      | Error msg ->
+        incr failures;
+        Printf.eprintf "FAIL %-24s %s\n%!" (label ^ " per-pass") msg
+    in
     Printf.printf
       "differential check: %d apps x %d machine configs, then %d fuzzed \
-       programs\n%!"
+       programs%s\n%!"
       (List.length Workload.Apps.all)
-      (List.length D.configs) cases;
+      (List.length D.configs) cases
+      (if per_pass then " (per-pass pipeline checks on)" else "");
     List.iter
       (fun (p : Workload.Profile.t) ->
-        report p.name
-          (D.check_program ~instrs:1_500 (Workload.Gen.program p)
-             ~seed:(p.seed lxor 0x5EED)))
+        let prepared =
+          D.prepare ~instrs:1_500 (Workload.Gen.program p)
+            ~seed:(p.seed lxor 0x5EED)
+        in
+        report p.name (D.check_prepared prepared);
+        if per_pass then check_pipelines p.name prepared)
       Workload.Apps.all;
     let fuzz_configs =
       List.filter
@@ -576,18 +603,26 @@ let check_cmd =
     for i = 0 to cases - 1 do
       let s = seed + i in
       let program = Workload.Fuzz.program_of_seed s in
-      match
-        D.check_program ~configs:fuzz_configs ~variant_configs:fuzz_configs
-          ~instrs:500 program ~seed:((s * 7) + 1)
-      with
+      let prepared = D.prepare ~instrs:500 program ~seed:((s * 7) + 1) in
+      (match
+         D.check_prepared ~configs:fuzz_configs ~variant_configs:fuzz_configs
+           prepared
+       with
       | Ok n -> events := !events + n
       | Error msg ->
         incr failures;
         Printf.eprintf "FAIL fuzz seed %d: %s\ngenome:\n%s\n%!" s msg
-          (Workload.Fuzz.to_string (Workload.Fuzz.spec_of_seed s))
+          (Workload.Fuzz.to_string (Workload.Fuzz.spec_of_seed s)));
+      if per_pass then
+        check_pipelines (Printf.sprintf "fuzz seed %d" s) prepared
     done;
-    if !failures = 0 then
-      Printf.printf "ok: %d retirements compared, no divergence\n" !events
+    if !failures = 0 then begin
+      Printf.printf "ok: %d retirements compared, no divergence\n" !events;
+      if per_pass then
+        Printf.printf
+          "per-pass: %d pipeline variants checked after every pass\n"
+          !pipelines
+    end
     else begin
       Printf.eprintf "%d check(s) failed\n" !failures;
       exit 1
@@ -598,7 +633,7 @@ let check_cmd =
        ~doc:
          "Differentially test the simulator, the trace expander and every \
           transform against the golden architectural model")
-    Term.(const run $ cases_arg $ seed_arg)
+    Term.(const run $ cases_arg $ seed_arg $ per_pass_arg)
 
 (* ------------------------------ cache ----------------------------- *)
 

@@ -136,6 +136,16 @@ let rec transformed ctx (scheme : Scheme.t) =
     | Scheme.Compress -> fst (Transform.Thumb.compress ctx.program)
     | Scheme.Opp16_critic ->
       fst (Transform.Thumb.opp16 (transformed ctx Scheme.Critic))
+    | Scheme.Narrow_only ->
+      fst
+        (Transform.Pipeline.run_exn
+           (Transform.Pass.env ctx.db)
+           Transform.Pipeline.narrow_only ctx.program)
+    | Scheme.Critic_reorder ->
+      fst
+        (Transform.Pipeline.run_exn
+           (Transform.Pass.env ctx.db)
+           Transform.Pipeline.reordered ctx.program)
   in
   (* Store-backed layer under the in-memory memo: a transformed program
      is a deterministic function of the prepared context (ckey) and the

@@ -8,10 +8,12 @@ type t =
   | Opp16
   | Compress
   | Opp16_critic
+  | Narrow_only
+  | Critic_reorder
 
 let all =
   [ Baseline; Hoist; Critic; Critic_ideal; Critic_branches; Macro_ideal;
-    Opp16; Compress; Opp16_critic ]
+    Opp16; Compress; Opp16_critic; Narrow_only; Critic_reorder ]
 
 let name = function
   | Baseline -> "baseline"
@@ -23,6 +25,8 @@ let name = function
   | Opp16 -> "opp16"
   | Compress -> "compress"
   | Opp16_critic -> "opp16+critic"
+  | Narrow_only -> "narrow.only"
+  | Critic_reorder -> "critic.reorder"
 
 let of_string s =
   let s = String.lowercase_ascii s in
@@ -39,3 +43,7 @@ let describe = function
   | Opp16 -> "opportunistic 16-bit conversion of runs >= 3"
   | Compress -> "fine-grained Thumb conversion (Krishnaswamy & Gupta)"
   | Opp16_critic -> "CritIC, then OPP16 on the remaining code"
+  | Narrow_only ->
+    "pass-list ablation: 16-bit conversion of CritICs without hoisting"
+  | Critic_reorder ->
+    "pass-list ablation: narrow-before-hoist ordering of the CritIC passes"

@@ -18,6 +18,14 @@ type t =
                        (Sec. V) *)
   | Compress       (** fine-grained Thumb conversion of [78] *)
   | Opp16_critic   (** CritIC first, then OPP16 on the remainder *)
+  | Narrow_only    (** pass-list ablation the paper never tried:
+                       chain-select + narrow-convert + CDP markers with
+                       {e no hoisting} — members stay scattered, every
+                       consecutive run pays its own marker *)
+  | Critic_reorder (** pass-list ablation: narrow-before-hoist ordering;
+                       produces the same program as {!Critic} (the
+                       passes commute), priced end-to-end to demonstrate
+                       it *)
 
 val all : t list
 val name : t -> string

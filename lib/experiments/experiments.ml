@@ -17,6 +17,7 @@ module Worked_example = Worked_example
 module Tables = Tables
 module Macro_study = Macro_study
 module Ablations = Ablations
+module Nanopass_study = Nanopass_study
 
 type entry = {
   id : string;
@@ -91,7 +92,18 @@ let all : entry list =
       jobs = (fun () -> Ablations.jobs ()) };
   ]
 
-let find id = List.find_opt (fun e -> e.id = id) all
+(* Opt-in artifacts beyond the paper's figure set.  Kept out of [all]
+   so the default bench stdout (recorded in bench_output.txt) stays
+   byte-identical; reachable via [find], `critics experiment <id>` and
+   `bench --ablation`. *)
+let extra : entry list =
+  [
+    { id = "nanopass"; title = "Pass-list ablations (nanopass pipeline)";
+      render = (fun h -> Nanopass_study.render (Nanopass_study.run h));
+      jobs = (fun () -> Nanopass_study.jobs ()) };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) (all @ extra)
 
 let prewarm ?only h =
   let entries =

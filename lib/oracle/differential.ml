@@ -218,10 +218,68 @@ let transform_variants p =
     ("critic_ideal", critic Transform.Critic_pass.ideal_options);
     ( "critic_branches",
       critic { default with mode = Transform.Critic_pass.Branches } );
+    ( "narrow_only",
+      fst
+        (Transform.Pipeline.run_exn
+           (Transform.Pass.env p.db)
+           Transform.Pipeline.narrow_only p.program) );
     ("opp16", fst (Transform.Thumb.opp16 p.program));
     ("compress", fst (Transform.Thumb.compress p.program));
     ("opp16_critic", fst (Transform.Thumb.opp16 (critic default)));
   ]
+
+(* ---------------------- per-pass pipeline checks ------------------- *)
+
+let pipeline_variants p =
+  let default = Transform.Critic_pass.default_options in
+  let case name options passes =
+    (name, Transform.Pass.env ~options p.db, passes)
+  in
+  let canonical name options =
+    case name options (Transform.Pipeline.canonical options)
+  in
+  [
+    canonical "hoist" { default with mode = Transform.Critic_pass.Hoist_only };
+    canonical "critic" default;
+    canonical "critic_ideal" Transform.Critic_pass.ideal_options;
+    canonical "critic_branches"
+      { default with mode = Transform.Critic_pass.Branches };
+    canonical "macro" { default with mode = Transform.Critic_pass.Fused_macro };
+    case "narrow_only" default Transform.Pipeline.narrow_only;
+    case "narrow_before_hoist" default Transform.Pipeline.reordered;
+  ]
+
+let pass_check p ~pass:_ ~before:_ ~after =
+  (* Every stage must stay equivalent to the *source* program: switch
+     markers are dataflow- and architecture-transparent, so both the
+     static per-block summaries and the golden model's commit digests
+     are stage invariants.  Checking against the source rather than the
+     previous stage pins divergence to the first pass that breaks. *)
+  let* () =
+    Result.map
+      (fun _ -> ())
+      (Transform.Verify.check_pass (fun _ -> (after, ())) p.program)
+  in
+  check_transform_pair ~original:p.program ~transformed:after ~seed:p.seed
+    ~path:p.path
+
+let check_pipeline p (name, env, passes) =
+  match
+    Transform.Pipeline.run ~check:(pass_check p) env passes p.program
+  with
+  | Ok (program', _) -> Ok program'
+  | Error e ->
+    Error
+      (Printf.sprintf "[%s/%s] %s" name e.Transform.Pipeline.failed_pass
+         e.Transform.Pipeline.detail)
+
+let check_pipelines ?(variants = pipeline_variants) p =
+  List.fold_left
+    (fun acc v ->
+      let* n = acc in
+      let* _ = check_pipeline p v in
+      Ok (n + 1))
+    (Ok 0) (variants p)
 
 let in_context name r =
   Result.map_error (fun msg -> Printf.sprintf "[%s] %s" name msg) r

@@ -69,8 +69,35 @@ val prepare : ?instrs:int -> Prog.Program.t -> seed:int -> prepared
 
 val transform_variants : prepared -> (string * Prog.Program.t) list
 (** The compiler pipelines under test, applied to the prepared program:
-    hoist, critic, critic_ideal, critic_branches, opp16, compress and
-    opp16∘critic (every semantics-preserving scheme). *)
+    hoist, critic, critic_ideal, critic_branches, narrow_only, opp16,
+    compress and opp16∘critic (every semantics-preserving scheme). *)
+
+val pipeline_variants :
+  prepared ->
+  (string * Transform.Pass.env * Transform.Pass.t list) list
+(** The nanopass pipelines under per-pass test: the canonical list for
+    every switch mode (hoist, critic, critic_ideal, critic_branches,
+    macro) plus the hybrid lists (narrow_only, narrow_before_hoist). *)
+
+val check_pipeline :
+  prepared ->
+  string * Transform.Pass.env * Transform.Pass.t list ->
+  (Prog.Program.t, string) result
+(** Run one pass list with the architectural checker armed after
+    {e every individual pass}: each intermediate program must be
+    dataflow-equivalent to the source per block
+    ({!Transform.Verify.check_pass}, which names the first divergent
+    block and uid) and golden-model equivalent over the prepared walk
+    ({!check_transform_pair}).  A failure is reported as
+    ["[variant/pass] detail"], attributing the divergence to the exact
+    stage that introduced it. *)
+
+val check_pipelines :
+  ?variants:(prepared -> (string * Transform.Pass.env * Transform.Pass.t list) list) ->
+  prepared ->
+  (int, string) result
+(** {!check_pipeline} over every variant (default
+    {!pipeline_variants}); returns the number of pipelines checked. *)
 
 val check_variant :
   ?configs:(string * Pipeline.Config.t) list ->

@@ -1,0 +1,7 @@
+(** Approach 1 (Sec. IV-A): format switching on stock hardware with an
+    explicit 32-bit branch before and a 16-bit branch after each run of
+    chain members, both always taken.
+
+    Report field owned: [switch_branches_inserted] (two per run). *)
+
+val pass : Pass.t

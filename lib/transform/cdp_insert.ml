@@ -1,0 +1,51 @@
+module I = Isa.Instr
+
+let span = 9
+
+(* Insert one CDP marker per group of up to [span] consecutive chain
+   members, the marker announcing the group that follows it.
+
+   Fresh uids are part of the bit-identicality contract: the monolithic
+   pass drew them from a single counter starting at [max_uid + 1],
+   walking blocks in ascending id order and sites within a block in
+   descending start-index order, groups ascending within a site.  The
+   earlier passes create no instructions, so [max_uid] here equals the
+   original program's, and Chains.descending reproduces the site
+   order.  Grouping by chain id (not by scanning for tagged runs) keeps
+   adjacent chains from sharing a marker window. *)
+let apply (_ : Pass.env) program =
+  let next_uid = ref (Prog.Program.max_uid program + 1) in
+  let fresh_uid () =
+    let u = !next_uid in
+    incr next_uid;
+    u
+  in
+  let ncdp = ref 0 in
+  let program' =
+    Prog.Program.map_blocks
+      (fun block ->
+        match Chains.in_block block with
+        | [] -> block
+        | chains ->
+          let body = ref block.Prog.Block.body in
+          List.iter
+            (fun (c : Chains.t) ->
+              let inserts =
+                List.concat_map
+                  (fun run ->
+                    Chains.chunk span run
+                    |> List.map (fun group ->
+                           ( List.hd group,
+                             I.cdp ~uid:(fresh_uid ())
+                               ~following:(List.length group) )))
+                  (Chains.runs c)
+              in
+              ncdp := !ncdp + List.length inserts;
+              body := Chains.splice !body inserts)
+            (Chains.descending chains);
+          Prog.Block.with_body !body block)
+      program
+  in
+  (program', { Report.zero with Report.cdp_inserted = !ncdp })
+
+let pass = { Pass.name = "cdp-insert"; apply }

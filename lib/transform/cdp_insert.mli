@@ -1,0 +1,15 @@
+(** The paper's format switch: a CDP marker announcing up to nine
+    16-bit instructions (Sec. III-B, Fig. 9).
+
+    Each maximal run of consecutive chain members is chunked into
+    groups of at most nine, and a {!Isa.Instr.cdp} half-word is placed
+    in front of each group.  After {!Hoist} a chain is a single run;
+    in the narrow-only hybrid (no hoisting) every scattered run gets
+    its own markers.
+
+    Report field owned: [cdp_inserted]. *)
+
+val span : int
+(** 9 — instructions one CDP announces. *)
+
+val pass : Pass.t

@@ -1,0 +1,120 @@
+module I = Isa.Instr
+module Db = Profiler.Critic_db
+
+(* Selection reproduces the monolithic pass's decision procedure
+   exactly, but instead of rewriting it only *marks*: accepted prefix
+   members get a chain tag at their original position, and every later
+   pass finds its work through the tags.
+
+   Checks run against the block as profiled (sites are index-range
+   disjoint within a block, so the monolithic pass's
+   descending-start-index fold saw exactly this body at every site it
+   checked).  [floor] covers the non-disjoint corner: positions at or
+   above an already-accepted site's first member would have been
+   rewritten by the time the monolithic pass revisited them, so a later
+   site touching them is stale here too.  A member/uid length mismatch
+   — possible in an externally loaded database — likewise counts as
+   stale instead of raising, the first failing check being
+   re-validation. *)
+
+let select_block (env : Pass.env) bump chain_counter (block : Prog.Block.t)
+    sites =
+  let sorted =
+    List.sort (fun (a : Db.site) b -> compare b.start_index a.start_index) sites
+  in
+  let body = Array.copy block.Prog.Block.body in
+  let floor = ref max_int in
+  List.iter
+    (fun (site : Db.site) ->
+      bump (fun r ->
+          { r with Report.sites_considered = r.Report.sites_considered + 1 });
+      let fresh_site_ok =
+        List.length site.member_indices = List.length site.uids
+        && List.for_all2
+             (fun idx uid ->
+               idx >= 0
+               && idx < Array.length body
+               && idx < !floor
+               && body.(idx).I.uid = uid)
+             site.member_indices site.uids
+      in
+      if not fresh_site_ok then
+        bump (fun r ->
+            { r with Report.rejected_stale = r.Report.rejected_stale + 1 })
+      else begin
+        let view = Prog.Block.with_body body block in
+        (* Longest legal prefix: any prefix of an IC is an IC, so when
+           the full chain cannot be hoisted (e.g. a register is reused
+           further down) we fall back to the longest hoistable prefix. *)
+        let rec legal_prefix indices =
+          match indices with
+          | [] | [ _ ] -> None
+          | _ when Hoist.legal view indices -> Some indices
+          | _ ->
+            legal_prefix
+              (List.filteri (fun i _ -> i < List.length indices - 1) indices)
+        in
+        match legal_prefix site.member_indices with
+        | None ->
+          bump (fun r ->
+              {
+                r with
+                Report.rejected_legality = r.Report.rejected_legality + 1;
+              })
+        | Some member_indices ->
+          let members = List.map (fun i -> body.(i)) member_indices in
+          let needs_conversion =
+            match env.Pass.options.mode with
+            | Pass.Cdp | Pass.Branches -> true
+            | Pass.Hoist_only | Pass.Fused_macro -> false
+          in
+          let convertible =
+            env.Pass.options.ideal || List.for_all I.thumb_convertible members
+          in
+          if needs_conversion && not convertible then
+            (* All-or-nothing: the whole sequence stays untouched. *)
+            bump (fun r ->
+                {
+                  r with
+                  Report.rejected_convertibility =
+                    r.Report.rejected_convertibility + 1;
+                })
+          else begin
+            let len = List.length member_indices in
+            let chain_id = !chain_counter in
+            incr chain_counter;
+            List.iteri
+              (fun pos idx ->
+                body.(idx) <-
+                  I.with_chain (Some { I.chain_id; pos; len }) body.(idx))
+              member_indices;
+            floor := min !floor (List.hd member_indices);
+            bump (fun r ->
+                { r with Report.sites_applied = r.Report.sites_applied + 1 })
+          end
+      end)
+    sorted;
+  Prog.Block.with_body body block
+
+let apply (env : Pass.env) program =
+  let by_block : (int, Db.site list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Db.site) ->
+      if Db.site_length s >= 2 then
+        Hashtbl.replace by_block s.block_id
+          (s :: Option.value ~default:[] (Hashtbl.find_opt by_block s.block_id)))
+    env.Pass.db.Db.sites;
+  let chain_counter = ref 0 in
+  let r = ref Report.zero in
+  let bump f = r := f !r in
+  let program' =
+    Prog.Program.map_blocks
+      (fun block ->
+        match Hashtbl.find_opt by_block block.Prog.Block.id with
+        | None -> block
+        | Some sites -> select_block env bump chain_counter block sites)
+      program
+  in
+  (program', !r)
+
+let pass = { Pass.name = "chain-select"; apply }

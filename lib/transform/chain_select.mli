@@ -1,0 +1,22 @@
+(** Pass 1 of the CritIC pipeline: decide which profiled sites become
+    chains, and mark their members.
+
+    For every database site (of length ≥ 2, after the environment's
+    length restriction) the pass re-validates the site against the
+    current block, finds the longest hoist-legal prefix, applies the
+    all-or-nothing Thumb-convertibility rule (in the modes that
+    convert), and — on acceptance — tags the surviving members with a
+    {!Isa.Instr.chain_tag} in place.  No instruction moves, appears or
+    disappears: the program is dataflow-identical to its input, and the
+    tags are the only communication channel to the later passes.
+
+    Chain ids are assigned in the monolithic pass's application order —
+    blocks ascending, sites within a block by descending start index —
+    which the fresh-uid allocation of the switch passes depends on.
+
+    Report fields owned: [sites_considered], [sites_applied],
+    [rejected_stale], [rejected_legality], [rejected_convertibility] —
+    each rejection counted under its first failing check (a site that
+    is both stale and illegal counts once, as stale). *)
+
+val pass : Pass.t

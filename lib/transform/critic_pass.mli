@@ -17,11 +17,17 @@
     - [Fused_macro] — the ISA-extension alternative the paper rejects
       (Sec. III-B): each chain becomes a single hypothetical
       macro-instruction, so only its head costs fetch bytes.  An upper
-      bound with no encoding constraints at all. *)
+      bound with no encoding constraints at all.
 
-type switch_mode = Cdp | Branches | Hoist_only | Fused_macro
+    Since the nanopass refactor this module is a thin wrapper: {!apply}
+    assembles the canonical pass list for the options ({!Pipeline.canonical})
+    and runs it.  The stage decomposition lives in {!Chain_select},
+    {!Hoist}, {!Narrow_convert}, {!Cdp_insert}, {!Branch_switch} and
+    {!Macro_fuse}; DESIGN.md §12 documents the pipeline contract. *)
 
-type options = {
+type switch_mode = Pass.switch_mode = Cdp | Branches | Hoist_only | Fused_macro
+
+type options = Pass.options = {
   max_len : int;   (** chain length cap; the paper's realistic CritIC
                        uses 5 *)
   mode : switch_mode;
@@ -34,7 +40,7 @@ val default_options : options
 
 val ideal_options : options
 
-type report = {
+type report = Report.t = {
   sites_considered : int;
   sites_applied : int;
   rejected_stale : int;        (** program no longer matches the profile *)
@@ -52,4 +58,18 @@ val apply :
   Prog.Program.t ->
   Prog.Program.t * report
 (** Apply the pass to a program (normally the one that was profiled).
-    The CFG shape is preserved; only block bodies change. *)
+    The CFG shape is preserved; only block bodies change.  Equivalent
+    to [Pipeline.run_exn (Pass.env ~options db) (Pipeline.canonical
+    options)] — and bit-identical, program and report, to the
+    pre-refactor monolithic implementation. *)
+
+val apply_monolithic :
+  ?options:options ->
+  Profiler.Critic_db.t ->
+  Prog.Program.t ->
+  Prog.Program.t * report
+(** The original single-shot implementation, kept verbatim as the seed
+    reference for the pass-algebra differential tests.  Not for
+    production use: it preserves the historical defect of raising
+    [Invalid_argument] on a site whose member/uid lists differ in
+    length, where the pipeline counts the site as stale. *)

@@ -67,3 +67,28 @@ let apply (block : Prog.Block.t) indices =
     |> Array.of_list
   in
   Prog.Block.with_body new_body block
+
+(* The pass form: hoist every tagged chain.  Chain_select only accepts
+   hoist-legal prefixes, so [apply] cannot raise here.  Chains are
+   processed in descending first-position order; a hoist permutes only
+   the [first, last] span, so the positions of chains below stay
+   valid. *)
+let pass =
+  let run (_ : Pass.env) program =
+    let hoisted = ref 0 in
+    let program' =
+      Prog.Program.map_blocks
+        (fun block ->
+          match Chains.in_block block with
+          | [] -> block
+          | chains ->
+            List.fold_left
+              (fun b (c : Chains.t) ->
+                hoisted := !hoisted + c.Chains.len;
+                apply b c.Chains.positions)
+              block (Chains.descending chains))
+        program
+    in
+    (program', { Report.zero with Report.instrs_hoisted = !hoisted })
+  in
+  { Pass.name = "hoist"; apply = run }

@@ -19,3 +19,8 @@ val apply : Prog.Block.t -> int list -> Prog.Block.t
     point, preserving the relative order of everything else.  Raises
     [Invalid_argument] if [legal] is false or indices are out of
     range/unsorted. *)
+
+val pass : Pass.t
+(** The pipeline form: hoist every chain tagged by {!Chain_select},
+    highest chain first within each block.  Report field owned:
+    [instrs_hoisted] (total chain members moved, heads included). *)

@@ -1,0 +1,9 @@
+(** The ISA-extension alternative the paper rejects (Sec. III-B): a
+    whole chain as one hypothetical macro-instruction.  Only the chain
+    head costs fetch bytes; every other member is re-encoded as
+    {!Isa.Instr.encoding} [Fused] (zero bytes).
+
+    Report field owned: [instrs_converted] — every chain member, head
+    included, matching the monolithic accounting. *)
+
+val pass : Pass.t

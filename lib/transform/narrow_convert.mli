@@ -1,0 +1,15 @@
+(** Re-encode chain members in the 16-bit format.
+
+    A per-instruction rewrite over the chain tags: non-ideal runs use
+    {!Isa.Instr.with_encoding} (convertibility already guaranteed per
+    chain by {!Chain_select}'s all-or-nothing rule), ideal runs use
+    {!Isa.Instr.force_thumb}.  Members already in Thumb16 are left
+    untouched, so the pass is idempotent on programs — running it
+    twice produces the same program as once, a property the algebra
+    tests lock.
+
+    Report field owned: [instrs_converted] — every member of every
+    converted chain, whether or not its encoding actually changed
+    (matching the monolithic accounting). *)
+
+val pass : Pass.t

@@ -1,0 +1,40 @@
+(** The nanopass interface of the CritIC compiler step.
+
+    A pass is a named, total program-to-program function: it receives
+    the shared environment (profile database plus options), returns the
+    rewritten program, and accounts for what it did in a {!Report.t}.
+    Passes communicate exclusively through the program — chain
+    membership travels as {!Isa.Instr.chain_tag}s placed by
+    {!Chain_select} and read by every later pass — so any pass list is
+    runnable and individually checkable (see {!Pipeline}). *)
+
+type switch_mode = Cdp | Branches | Hoist_only | Fused_macro
+(** The format-switch mechanism (see {!Critic_pass} for the paper
+    mapping of each mode). *)
+
+type options = {
+  max_len : int;  (** chain length cap; the paper's realistic CritIC
+                      uses 5 *)
+  mode : switch_mode;
+  ideal : bool;  (** CritIC.Ideal: no length cap and hypothetical
+                     16-bit encodings for every chain member *)
+}
+
+val default_options : options
+(** [{ max_len = 5; mode = Cdp; ideal = false }] *)
+
+val ideal_options : options
+
+type env = { db : Profiler.Critic_db.t; options : options }
+(** What every pass sees.  [db] is already length-restricted according
+    to the options (see {!env}). *)
+
+val env : ?options:options -> Profiler.Critic_db.t -> env
+(** Build the pass environment: unless [options.ideal], the database is
+    restricted to [options.max_len]-member prefixes — exactly the
+    restriction the monolithic pass applied on entry. *)
+
+type t = {
+  name : string;  (** stable identifier used in check attribution *)
+  apply : env -> Prog.Program.t -> Prog.Program.t * Report.t;
+}

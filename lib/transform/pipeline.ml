@@ -1,0 +1,50 @@
+type error = { failed_pass : string; detail : string }
+
+type check =
+  pass:string ->
+  before:Prog.Program.t ->
+  after:Prog.Program.t ->
+  (unit, string) result
+
+let run ?check (env : Pass.env) passes program =
+  let rec go program report = function
+    | [] -> Ok (program, report)
+    | (p : Pass.t) :: rest -> (
+      let program', pr = p.Pass.apply env program in
+      let report = Report.add report pr in
+      match check with
+      | None -> go program' report rest
+      | Some f -> (
+        match f ~pass:p.Pass.name ~before:program ~after:program' with
+        | Ok () -> go program' report rest
+        | Error detail -> Error { failed_pass = p.Pass.name; detail }))
+  in
+  go program Report.zero passes
+
+let run_exn env passes program =
+  match run env passes program with
+  | Ok r -> r
+  | Error e ->
+    failwith (Printf.sprintf "Pipeline.run_exn: [%s] %s" e.failed_pass e.detail)
+
+let canonical (options : Pass.options) =
+  let narrow =
+    match options.mode with
+    | Pass.Cdp | Pass.Branches -> [ Narrow_convert.pass ]
+    | Pass.Hoist_only | Pass.Fused_macro -> []
+  in
+  let switch =
+    match options.mode with
+    | Pass.Cdp -> [ Cdp_insert.pass ]
+    | Pass.Branches -> [ Branch_switch.pass ]
+    | Pass.Hoist_only -> []
+    | Pass.Fused_macro -> [ Macro_fuse.pass ]
+  in
+  (Chain_select.pass :: Hoist.pass :: narrow) @ switch
+
+let narrow_only = [ Chain_select.pass; Narrow_convert.pass; Cdp_insert.pass ]
+
+let reordered =
+  [ Chain_select.pass; Narrow_convert.pass; Hoist.pass; Cdp_insert.pass ]
+
+let names passes = List.map (fun (p : Pass.t) -> p.Pass.name) passes

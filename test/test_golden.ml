@@ -10,8 +10,9 @@
    observable.
 
    If an intentional semantic change to the simulator ever invalidates
-   them, regenerate with the same loop as [cases] below, printing
-   [digest (Critics.Run.stats ~config ctx scheme)] per case. *)
+   them, regenerate by running this suite with CRITICS_GOLDEN_PRINT=1:
+   each table is printed as ready-to-paste OCaml tuples instead of
+   asserted. *)
 
 let digest (st : Pipeline.Stats.t) =
   Digest.to_hex (Digest.string (Marshal.to_string st []))
@@ -88,6 +89,61 @@ let schemes =
     Critics.Scheme.Baseline; Critics.Scheme.Critic; Critics.Scheme.Opp16_critic;
   ]
 
+(* The hybrid pass lists the nanopass refactor added (PR 7), recorded
+   the day they landed with the same loop at the same 6000-instruction
+   budget.  [critic.reorder] digests are identical to [critic]'s above
+   — narrow-before-hoist produces the same program (the passes
+   commute), and the equality is asserted structurally below, not just
+   recorded. *)
+let golden_hybrid =
+  [
+    ("Acrobat", "narrow.only", "table_i", "655097d94aacc7fd42bfb90c0787e5f8");
+    ("Acrobat", "narrow.only", "2x_fd", "abf8e17d744ed072d6eb55677f1d6d0a");
+    ("Acrobat", "narrow.only", "4x_icache+backend_prio", "e21a8ea8dcd14f876164d0a8ae1dbba1");
+    ("Acrobat", "narrow.only", "narrow2", "bebe25b50e928e614013f1a570f9643f");
+    ("Acrobat", "narrow.only", "free_cdp+efetch", "f5fcc6566e93e69354644d4f37ba56ce");
+    ("Acrobat", "narrow.only", "perfect_bp+clp", "ac0f5c87dc260c09c15757c843b340f1");
+    ("Acrobat", "narrow.only", "wrong_path", "318d4afb107102e4f84d1b0d8b476010");
+    ("Acrobat", "critic.reorder", "table_i", "6d1adc44993869918195f4e83735d757");
+    ("Acrobat", "critic.reorder", "2x_fd", "72e191c5566d5c80e22bcfd0a0d14f11");
+    ("Acrobat", "critic.reorder", "4x_icache+backend_prio", "50358f8b1e464f0b572c03406d036e12");
+    ("Acrobat", "critic.reorder", "narrow2", "6686ab47f1e7af714da37626b6f911f4");
+    ("Acrobat", "critic.reorder", "free_cdp+efetch", "73ebef736d732c5138b45e804386d698");
+    ("Acrobat", "critic.reorder", "perfect_bp+clp", "39e7263c5ae95de7adbbdfc0215c46ba");
+    ("Acrobat", "critic.reorder", "wrong_path", "4f91cae06ca6938ca2b007ed2ee27561");
+    ("Music", "narrow.only", "table_i", "59f2eec26eeb8504512d3db5abba66eb");
+    ("Music", "narrow.only", "2x_fd", "1366d33e6e4b5ef151dc6ba05384aa2c");
+    ("Music", "narrow.only", "4x_icache+backend_prio", "7b965e18b1c8dcdaa3e5e79c0b54d565");
+    ("Music", "narrow.only", "narrow2", "8dfdb47e24969edbeff44ef1d7d46423");
+    ("Music", "narrow.only", "free_cdp+efetch", "77f4ab88552d221981071511955c1740");
+    ("Music", "narrow.only", "perfect_bp+clp", "dc5eba380fb1625ebaf9af097eccdf24");
+    ("Music", "narrow.only", "wrong_path", "5dca06724b3f136e4ec04993596d366b");
+    ("Music", "critic.reorder", "table_i", "3f78d843fbc94107a8384f5c7512f0f0");
+    ("Music", "critic.reorder", "2x_fd", "e160b7def8079495b067e63a541e4d4e");
+    ("Music", "critic.reorder", "4x_icache+backend_prio", "4b97760480f24965a42f1fff9c45d43d");
+    ("Music", "critic.reorder", "narrow2", "e3601cc46a92da4bd282e187fc306240");
+    ("Music", "critic.reorder", "free_cdp+efetch", "a5f4a86fdbda20e41165e3a73133d554");
+    ("Music", "critic.reorder", "perfect_bp+clp", "34be58f0244f26bc414dbd60acdb1785");
+    ("Music", "critic.reorder", "wrong_path", "47c6edb04370db19221f5781f1f5a751");
+    ("lbm", "narrow.only", "table_i", "ab5b4f65cfc666cce999ef1b90d053b1");
+    ("lbm", "narrow.only", "2x_fd", "544ba3c2420758d7c988f14c6c8adae9");
+    ("lbm", "narrow.only", "4x_icache+backend_prio", "fbf805214920a36b075f56100a3fa619");
+    ("lbm", "narrow.only", "narrow2", "15eb5e26612ee919bf07ec4c25a2a067");
+    ("lbm", "narrow.only", "free_cdp+efetch", "7cbd2918431a1587cc59d65585fe58dc");
+    ("lbm", "narrow.only", "perfect_bp+clp", "3f6ad9f5c2ebfa2f0635839ef945ec37");
+    ("lbm", "narrow.only", "wrong_path", "889f3a33de5b7637f6b18ab69e7f229c");
+    ("lbm", "critic.reorder", "table_i", "d4f014cb4947667cbd9dd9147b43d05f");
+    ("lbm", "critic.reorder", "2x_fd", "85e41505df37114134c70a75a815a293");
+    ("lbm", "critic.reorder", "4x_icache+backend_prio", "819898737b1be65caed324a0740de10f");
+    ("lbm", "critic.reorder", "narrow2", "59bae7fc1e40ea5ecffec430aff6ab15");
+    ("lbm", "critic.reorder", "free_cdp+efetch", "569177a212c7aa3ae5e68dd51b93258c");
+    ("lbm", "critic.reorder", "perfect_bp+clp", "a362196a7834359599a0bea10cfdd707");
+    ("lbm", "critic.reorder", "wrong_path", "0ee4b4e4741560c3ab454babbe6a0dea");
+  ]
+
+let hybrid_schemes =
+  [ Critics.Scheme.Narrow_only; Critics.Scheme.Critic_reorder ]
+
 (* CRITICS_TELEMETRY=1 re-runs the whole suite with a cycle-attribution
    probe attached to every simulation.  The digests must not change:
    the probe is observational, and this is the proof at golden-contract
@@ -97,7 +153,7 @@ let probe () =
   | None | Some "" | Some "0" -> None
   | Some _ -> Some (Telemetry.Probe.create ~window:256 ())
 
-let cases () =
+let cases_for schemes =
   List.concat_map
     (fun app ->
       let ctx =
@@ -116,17 +172,57 @@ let cases () =
         schemes)
     [ "Acrobat"; "Music"; "lbm" ]
 
+(* Regeneration mode: CRITICS_GOLDEN_PRINT=1 prints each table as
+   ready-to-paste OCaml tuples instead of asserting, so an intentional
+   semantic change updates the contract with one run. *)
+let print_mode () =
+  match Sys.getenv_opt "CRITICS_GOLDEN_PRINT" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let check_table golden actual =
+  if print_mode () then
+    List.iter
+      (fun (app, scheme, cfg, d) ->
+        Printf.printf "    (%S, %S, %S, %S);\n" app scheme cfg d)
+      actual
+  else begin
+    Alcotest.(check int) "case count" (List.length golden) (List.length actual);
+    List.iter2
+      (fun (app, scheme, cfg, want) (app', scheme', cfg', got) ->
+        Alcotest.(check (triple string string string))
+          "case identity" (app, scheme, cfg) (app', scheme', cfg');
+        Alcotest.(check string)
+          (Printf.sprintf "%s/%s/%s stats digest" app scheme cfg)
+          want got)
+      golden actual
+  end
+
 let test_stats_match_recorded_engine () =
-  let actual = cases () in
-  Alcotest.(check int) "case count" (List.length golden) (List.length actual);
-  List.iter2
-    (fun (app, scheme, cfg, want) (app', scheme', cfg', got) ->
-      Alcotest.(check (triple string string string))
-        "case identity" (app, scheme, cfg) (app', scheme', cfg');
-      Alcotest.(check string)
-        (Printf.sprintf "%s/%s/%s stats digest" app scheme cfg)
-        want got)
-    golden actual
+  check_table golden (cases_for schemes)
+
+let test_hybrid_schemes_match_recorded () =
+  let actual = cases_for hybrid_schemes in
+  check_table golden_hybrid actual;
+  (* Structural half of the commuting claim: every critic.reorder
+     digest must equal the recorded critic digest for the same
+     (app, config) — not merely match its own recording. *)
+  if not (print_mode ()) then
+    List.iter
+      (fun (app, scheme, cfg, got) ->
+        if scheme = "critic.reorder" then
+          match
+            List.find_opt
+              (fun (a, s, c, _) -> a = app && s = "critic" && c = cfg)
+              golden
+          with
+          | Some (_, _, _, want) ->
+            Alcotest.(check string)
+              (Printf.sprintf "%s/critic.reorder/%s equals critic" app cfg)
+              want got
+          | None ->
+            Alcotest.failf "no recorded critic digest for %s/%s" app cfg)
+      actual
 
 let () =
   Alcotest.run "golden"
@@ -135,5 +231,7 @@ let () =
         [
           Alcotest.test_case "63 (app x scheme x config) digests" `Slow
             test_stats_match_recorded_engine;
+          Alcotest.test_case "42 hybrid-scheme digests" `Slow
+            test_hybrid_schemes_match_recorded;
         ] );
     ]

@@ -1,0 +1,400 @@
+(* Per-pass differential tests for the nanopass transform pipeline:
+   every intermediate program of every pass list must stay
+   architecturally equivalent to the source (not just the final
+   output), an injected per-pass bug must be caught, attributed to its
+   pass by name, and shrunk; and the pass algebra must reproduce the
+   monolithic seed semantics bit for bit. *)
+
+module D = Oracle.Differential
+module F = Workload.Fuzz
+module CP = Transform.Critic_pass
+module Pa = Transform.Pass
+module Pl = Transform.Pipeline
+module R = Transform.Report
+module I = Isa.Instr
+module Op = Isa.Opcode
+module B = Prog.Block
+module P = Prog.Program
+module Db = Profiler.Critic_db
+
+let check = Alcotest.(check bool)
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let digest_program p = Digest.to_hex (Digest.string (Marshal.to_string p []))
+
+(* ------------------- per-pass differential corpus ------------------ *)
+
+(* Every seed application: every pipeline variant (all switch modes
+   plus the hybrids), the oracle armed after each individual pass. *)
+let test_apps_per_pass () =
+  List.iter
+    (fun (profile : Workload.Profile.t) ->
+      let program = Workload.Gen.program profile in
+      let seed = profile.seed lxor 0x9A55 in
+      let p = D.prepare ~instrs:1_500 program ~seed in
+      match D.check_pipelines p with
+      | Ok n ->
+        Alcotest.(check int) (profile.name ^ ": pipelines checked") 7 n
+      | Error msg -> Alcotest.failf "%s: %s" profile.name msg)
+    Workload.Apps.all
+
+(* 300 fixed-seed fuzzed programs through the same per-pass harness,
+   with a coverage floor so corpus drift cannot quietly turn the test
+   into a no-op. *)
+let test_fuzz_per_pass () =
+  let exercised = ref 0 in
+  for seed = 0 to 299 do
+    let program = F.program_of_seed seed in
+    let p = D.prepare ~instrs:400 program ~seed:(seed * 13 + 5) in
+    (match D.check_pipelines p with
+    | Ok _ -> ()
+    | Error msg ->
+      Alcotest.failf "fuzz seed %d: %s\n%s" seed msg
+        (F.to_string (F.spec_of_seed seed)));
+    let _, r = CP.apply p.D.db p.D.program in
+    if r.CP.sites_applied > 0 then incr exercised
+  done;
+  (* Small fuzzed programs rarely cross the criticality threshold:
+     ~3% of this corpus gets an applied site (measured, stable across
+     budgets) — the floor guards against the corpus drifting to zero. *)
+  check
+    (Printf.sprintf "corpus exercises the passes (%d/300 applied)" !exercised)
+    true (!exercised >= 5)
+
+(* ----------------------- injected per-pass bug --------------------- *)
+
+(* A hoist that drops a dependence edge: after the legal hoist it swaps
+   the first two members of every chain, reordering a producer past its
+   consumer with no legality check.  Same name as the real pass — the
+   checker must attribute the divergence to "hoist". *)
+let buggy_hoist =
+  let apply env program =
+    let program', r = Transform.Hoist.pass.Pa.apply env program in
+    let program'' =
+      P.map_blocks
+        (fun b ->
+          match Transform.Chains.in_block b with
+          | [] -> b
+          | chains ->
+            let body = Array.copy b.B.body in
+            List.iter
+              (fun (c : Transform.Chains.t) ->
+                match c.Transform.Chains.positions with
+                | p0 :: p1 :: _ when p1 = p0 + 1 ->
+                  let t = body.(p0) in
+                  body.(p0) <- body.(p1);
+                  body.(p1) <- t
+                | _ -> ())
+              chains;
+            B.with_body body b)
+        program'
+    in
+    (program'', r)
+  in
+  { Pa.name = "hoist"; Pa.apply }
+
+let buggy_passes =
+  [
+    Transform.Chain_select.pass;
+    buggy_hoist;
+    Transform.Narrow_convert.pass;
+    Transform.Cdp_insert.pass;
+  ]
+
+let check_buggy spec =
+  let program = F.build spec in
+  let p = D.prepare ~instrs:300 program ~seed:11 in
+  D.check_pipeline p ("buggy", Pa.env p.D.db, buggy_passes)
+
+let test_injected_pass_bug () =
+  let cell =
+    QCheck.Test.make_cell ~name:"buggy hoist pass survives per-pass checks"
+      ~count:300 F.arbitrary (fun spec ->
+        match check_buggy spec with Ok _ -> true | Error _ -> false)
+  in
+  let res = QCheck.Test.check_cell ~rand:(Random.State.make [| 7 |]) cell in
+  match QCheck.TestResult.get_state res with
+  | QCheck.TestResult.Failed { instances = c :: _ } -> (
+    let spec = c.QCheck.TestResult.instance in
+    let sz = F.size spec in
+    if sz > 20 then
+      Alcotest.failf "counterexample not shrunk enough: %d instructions\n%s" sz
+        (F.to_string spec);
+    check "shrinking made progress" true (c.QCheck.TestResult.shrink_steps > 0);
+    match check_buggy spec with
+    | Error msg ->
+      check
+        (Printf.sprintf "divergence attributed to the hoist pass: %s" msg)
+        true
+        (contains ~sub:"buggy/hoist" msg)
+    | Ok _ -> Alcotest.fail "shrunk instance no longer fails")
+  | QCheck.TestResult.Success ->
+    Alcotest.fail "injected hoist-pass bug was not caught"
+  | _ -> Alcotest.fail "unexpected fuzzer outcome for the injected bug"
+
+(* ---------------------------- pass algebra ------------------------- *)
+
+let mode_cases =
+  [
+    ("cdp", CP.default_options);
+    ("branches", { CP.default_options with CP.mode = CP.Branches });
+    ("hoist_only", { CP.default_options with CP.mode = CP.Hoist_only });
+    ("macro", { CP.default_options with CP.mode = CP.Fused_macro });
+    ("ideal", CP.ideal_options);
+  ]
+
+(* The canonical pass list reproduces the monolithic seed semantics —
+   program and report — in every switch mode. *)
+let prop_pipeline_equals_monolithic =
+  QCheck.Test.make ~name:"canonical pipeline = monolithic semantics" ~count:60
+    F.arbitrary (fun spec ->
+      let program = F.build spec in
+      let p = D.prepare ~instrs:300 program ~seed:17 in
+      List.for_all
+        (fun (label, options) ->
+          let prog_a, rep_a = CP.apply ~options p.D.db p.D.program in
+          let prog_b, rep_b = CP.apply_monolithic ~options p.D.db p.D.program in
+          if digest_program prog_a <> digest_program prog_b then
+            QCheck.Test.fail_reportf "%s: programs differ" label
+          else if rep_a <> rep_b then
+            QCheck.Test.fail_reportf "%s: reports differ" label
+          else true)
+        mode_cases)
+
+let prop_narrow_idempotent =
+  QCheck.Test.make ~name:"narrow-convert is idempotent" ~count:60 F.arbitrary
+    (fun spec ->
+      let program = F.build spec in
+      let p = D.prepare ~instrs:300 program ~seed:19 in
+      let env = Pa.env p.D.db in
+      let tagged, _ = Transform.Chain_select.pass.Pa.apply env p.D.program in
+      let once, _ = Transform.Narrow_convert.pass.Pa.apply env tagged in
+      let twice, _ = Transform.Narrow_convert.pass.Pa.apply env once in
+      digest_program once = digest_program twice)
+
+let prop_hoist_preserves_multiset =
+  QCheck.Test.make ~name:"hoist preserves per-block instruction multiset"
+    ~count:60 F.arbitrary (fun spec ->
+      let program = F.build spec in
+      let p = D.prepare ~instrs:300 program ~seed:29 in
+      let env = Pa.env p.D.db in
+      let tagged, _ = Transform.Chain_select.pass.Pa.apply env p.D.program in
+      let hoisted, _ = Transform.Hoist.pass.Pa.apply env tagged in
+      let sorted_body (b : B.t) = List.sort compare (Array.to_list b.B.body) in
+      let a = P.blocks tagged and b = P.blocks hoisted in
+      Array.length a = Array.length b
+      && Array.for_all
+           (fun i -> sorted_body a.(i) = sorted_body b.(i))
+           (Array.init (Array.length a) Fun.id))
+
+(* Per-pass reports sum to the composite report field for field, and
+   the composite equals the monolithic one. *)
+let prop_reports_sum =
+  QCheck.Test.make ~name:"per-pass reports sum to composite report" ~count:60
+    F.arbitrary (fun spec ->
+      let program = F.build spec in
+      let p = D.prepare ~instrs:300 program ~seed:31 in
+      List.for_all
+        (fun (label, options) ->
+          let env = Pa.env ~options p.D.db in
+          let _, per_pass =
+            List.fold_left
+              (fun (prog, acc) (pass : Pa.t) ->
+                let prog', r = pass.Pa.apply env prog in
+                (prog', r :: acc))
+              (p.D.program, [])
+              (Pl.canonical options)
+          in
+          let summed = List.fold_left R.add R.zero per_pass in
+          let _, composite = CP.apply ~options p.D.db p.D.program in
+          let _, mono = CP.apply_monolithic ~options p.D.db p.D.program in
+          List.for_all2
+            (fun (fa, va) ((fb, vb), (fc, vc)) ->
+              if va <> vb || va <> vc then
+                QCheck.Test.fail_reportf
+                  "%s: field %s: passes sum %d, composite %d, monolithic %d"
+                  label fa va vb vc
+              else (assert (fa = fb && fb = fc); true))
+            (R.fields summed)
+            (List.combine (R.fields composite) (R.fields mono)))
+        mode_cases)
+
+(* Narrow-before-hoist commutes: the reordered hybrid produces the same
+   program as the canonical Cdp list. *)
+let prop_reorder_commutes =
+  QCheck.Test.make ~name:"narrow-before-hoist = canonical pipeline" ~count:60
+    F.arbitrary (fun spec ->
+      let program = F.build spec in
+      let p = D.prepare ~instrs:300 program ~seed:37 in
+      let run passes =
+        fst (Pl.run_exn (Pa.env p.D.db) passes p.D.program)
+      in
+      digest_program (run (Pl.canonical CP.default_options))
+      = digest_program (run Pl.reordered))
+
+(* ---------------- rejection attribution unit tests ----------------- *)
+
+let r = Isa.Reg.r
+
+let mk uid ?dst ?(srcs = []) ?cond op = I.make ~uid ~opcode:op ?dst ~srcs ?cond ()
+
+let block body = B.make ~id:0 ~func:0 ~body ~term:(B.Jump 0)
+
+let program_of body = P.make ~entry:0 ~blocks:[ block body ]
+
+let site ?(start = 0) ~indices ~uids () =
+  {
+    Db.block_id = 0;
+    start_index = start;
+    member_indices = indices;
+    uids;
+    key = "k";
+    occurrences = 1;
+    criticality = 10.0;
+    convertible = true;
+  }
+
+let db_of sites =
+  {
+    Db.sites;
+    total_work = 1;
+    ic_lengths = Util.Dist.Histogram.create ();
+    ic_spreads = Util.Dist.Histogram.create ();
+    chain_gaps = Util.Dist.Histogram.create ();
+  }
+
+(* 0 -> 2 is an illegal hoist: member 2 reads r6, which the skipped
+   instruction 1 writes. *)
+let illegal_body () =
+  [|
+    mk 0 ~dst:(r 0) Op.Alu;
+    mk 1 ~dst:(r 6) ~srcs:[ r 0 ] Op.Alu;
+    mk 2 ~dst:(r 1) ~srcs:[ r 6 ] Op.Alu;
+  |]
+
+let test_rejection_first_failing_check () =
+  let program = program_of (illegal_body ()) in
+  (* Fresh but illegal: charged to legality. *)
+  let _, rep = CP.apply (db_of [ site ~indices:[ 0; 2 ] ~uids:[ 0; 2 ] () ]) program in
+  Alcotest.(check int) "legality rejection" 1 rep.CP.rejected_legality;
+  Alcotest.(check int) "no stale rejection" 0 rep.CP.rejected_stale;
+  (* Stale AND illegal: re-validation fails first, so the site counts
+     as stale only — never under both, never under legality. *)
+  let _, rep =
+    CP.apply (db_of [ site ~indices:[ 0; 2 ] ~uids:[ 7; 8 ] () ]) program
+  in
+  Alcotest.(check int) "stale rejection" 1 rep.CP.rejected_stale;
+  Alcotest.(check int) "legality not double-counted" 0 rep.CP.rejected_legality;
+  Alcotest.(check int) "considered once" 1 rep.CP.sites_considered
+
+let test_length_mismatch_counts_stale () =
+  let program = program_of (illegal_body ()) in
+  (* More uids than member indices (site_length counts uids, so a
+     uids-short site is filtered before consideration). *)
+  let db = db_of [ site ~indices:[ 0; 2 ] ~uids:[ 0; 2; 4 ] () ] in
+  (* The monolithic pass raised on a member/uid length mismatch — the
+     silent-loss defect this refactor fixes. *)
+  Alcotest.check_raises "monolithic raised"
+    (Invalid_argument "List.for_all2") (fun () ->
+      ignore (CP.apply_monolithic db program));
+  let _, rep = CP.apply db program in
+  Alcotest.(check int) "pipeline counts it stale" 1 rep.CP.rejected_stale;
+  Alcotest.(check int) "considered" 1 rep.CP.sites_considered;
+  Alcotest.(check int) "nothing applied" 0 rep.CP.sites_applied
+
+let test_convertibility_rejection () =
+  (* 0 -> 2 is legal but member 2 targets a high register: the
+     all-or-nothing Thumb rule rejects the whole site in Cdp mode. *)
+  let body =
+    [|
+      mk 0 ~dst:(r 5) Op.Alu;
+      mk 1 ~dst:(r 4) Op.Alu;
+      mk 2 ~dst:(r 12) ~srcs:[ r 5 ] Op.Alu;
+    |]
+  in
+  let program = program_of body in
+  let db = db_of [ site ~indices:[ 0; 2 ] ~uids:[ 0; 2 ] () ] in
+  let _, rep = CP.apply db program in
+  Alcotest.(check int) "convertibility rejection" 1
+    rep.CP.rejected_convertibility;
+  Alcotest.(check int) "not legality" 0 rep.CP.rejected_legality;
+  (* Hoist-only mode never converts, so the same site applies. *)
+  let options = { CP.default_options with CP.mode = CP.Hoist_only } in
+  let _, rep = CP.apply ~options db program in
+  Alcotest.(check int) "hoist-only applies it" 1 rep.CP.sites_applied
+
+let test_applied_site_reports () =
+  (* A dependent chain 0 -> 2 -> 4 interleaved with leaves: applies
+     under every mode, with mode-specific switch accounting. *)
+  let body =
+    [|
+      mk 0 ~dst:(r 0) Op.Alu;
+      mk 1 ~dst:(r 6) ~srcs:[ r 0 ] Op.Alu;
+      mk 2 ~dst:(r 1) ~srcs:[ r 0 ] Op.Alu;
+      mk 3 ~dst:(r 6) ~srcs:[ r 1 ] Op.Alu;
+      mk 4 ~dst:(r 2) ~srcs:[ r 1 ] Op.Alu;
+      mk 5 ~dst:(r 6) ~srcs:[ r 2 ] Op.Alu;
+    |]
+  in
+  let program = program_of body in
+  let db = db_of [ site ~indices:[ 0; 2; 4 ] ~uids:[ 0; 2; 4 ] () ] in
+  let check_mode label options ~cdp ~branches ~converted =
+    let prog_a, rep = CP.apply ~options db program in
+    let prog_b, rep_b = CP.apply_monolithic ~options db program in
+    Alcotest.(check int) (label ^ ": applied") 1 rep.CP.sites_applied;
+    Alcotest.(check int) (label ^ ": hoisted") 3 rep.CP.instrs_hoisted;
+    Alcotest.(check int) (label ^ ": converted") converted
+      rep.CP.instrs_converted;
+    Alcotest.(check int) (label ^ ": cdp") cdp rep.CP.cdp_inserted;
+    Alcotest.(check int) (label ^ ": branches") branches
+      rep.CP.switch_branches_inserted;
+    check (label ^ ": = monolithic program") true
+      (digest_program prog_a = digest_program prog_b);
+    check (label ^ ": = monolithic report") true (rep = rep_b)
+  in
+  check_mode "cdp" CP.default_options ~cdp:1 ~branches:0 ~converted:3;
+  check_mode "branches"
+    { CP.default_options with CP.mode = CP.Branches }
+    ~cdp:0 ~branches:2 ~converted:3;
+  check_mode "hoist_only"
+    { CP.default_options with CP.mode = CP.Hoist_only }
+    ~cdp:0 ~branches:0 ~converted:0;
+  check_mode "macro"
+    { CP.default_options with CP.mode = CP.Fused_macro }
+    ~cdp:0 ~branches:0 ~converted:3
+
+let () =
+  Alcotest.run "nanopass"
+    [
+      ( "per-pass differential",
+        [
+          Alcotest.test_case "all apps, all pipelines" `Quick
+            test_apps_per_pass;
+          Alcotest.test_case "300 fuzzed programs" `Quick test_fuzz_per_pass;
+          Alcotest.test_case "injected pass bug caught, attributed, shrunk"
+            `Quick test_injected_pass_bug;
+        ] );
+      ( "pass algebra",
+        [
+          QCheck_alcotest.to_alcotest prop_pipeline_equals_monolithic;
+          QCheck_alcotest.to_alcotest prop_narrow_idempotent;
+          QCheck_alcotest.to_alcotest prop_hoist_preserves_multiset;
+          QCheck_alcotest.to_alcotest prop_reports_sum;
+          QCheck_alcotest.to_alcotest prop_reorder_commutes;
+        ] );
+      ( "rejection attribution",
+        [
+          Alcotest.test_case "first failing check wins" `Quick
+            test_rejection_first_failing_check;
+          Alcotest.test_case "length mismatch counts stale" `Quick
+            test_length_mismatch_counts_stale;
+          Alcotest.test_case "convertibility attribution" `Quick
+            test_convertibility_rejection;
+          Alcotest.test_case "applied-site accounting" `Quick
+            test_applied_site_reports;
+        ] );
+    ]
