@@ -192,7 +192,8 @@ let telemetry_json registry =
   in
   "{ " ^ String.concat ", " entries ^ " }"
 
-let json_results ~jobs ~total_ms ?(telemetry = []) ?cache timings =
+let json_results ~jobs ~total_ms ?(telemetry = []) ?(fetch = []) ?cache
+    timings =
   let gc = Gc.quick_stat () in
   let git, dirty = provenance () in
   let b = Buffer.create 1024 in
@@ -215,11 +216,23 @@ let json_results ~jobs ~total_ms ?(telemetry = []) ?cache timings =
         | Some json -> Printf.sprintf ", \"telemetry\": %s" json
         | None -> ""
       in
+      (* Fetch bandwidth over the artifact's job set: absent for
+         journal-resumed artifacts (their memo tables are gone) and for
+         artifacts without simulation jobs. *)
+      let fetch_json =
+        match List.assoc_opt t.id fetch with
+        | Some (bytes, cycles) when cycles > 0 ->
+          Printf.sprintf
+            ", \"fetch_bytes\": %d, \"bytes_per_cycle\": %.3f" bytes
+            (float_of_int bytes /. float_of_int cycles)
+        | _ -> ""
+      in
       Buffer.add_string b
         (Printf.sprintf
            "    { \"id\": %S, \"wall_ms\": %.1f, \"minor_words\": %.0f, \
-            \"major_words\": %.0f, \"top_heap_words\": %d%s }%s\n"
+            \"major_words\": %.0f, \"top_heap_words\": %d%s%s }%s\n"
            t.id t.wall_ms t.minor_words t.major_words t.top_heap_words telem
+           fetch_json
            (if i = List.length timings - 1 then "" else ",")))
     timings;
   Buffer.add_string b "  ]\n}\n";
@@ -279,6 +292,7 @@ let tables ~jobs ~resume ~telemetry ~ablation () =
   in
   let timings = ref [] in
   let telemetry_summaries = ref [] in
+  let fetch_summaries = ref [] in
   let failed = ref [] in
   let time id f =
     let g0 = Gc.quick_stat () in
@@ -331,6 +345,9 @@ let tables ~jobs ~resume ~telemetry ~ablation () =
       match time e.id (fun () -> print_string (e.render h)) with
       | () ->
         print_newline ();
+        fetch_summaries :=
+          (e.id, Experiments.Harness.fetch_totals_for h (e.jobs ()))
+          :: !fetch_summaries;
         if telemetry then begin
           let reg = Experiments.Harness.telemetry_registry_for h (e.jobs ()) in
           if not (Telemetry.Registry.is_empty reg) then
@@ -373,7 +390,7 @@ let tables ~jobs ~resume ~telemetry ~ablation () =
   in
   let json =
     json_results ~jobs ~total_ms ~telemetry:(List.rev !telemetry_summaries)
-      ?cache:cache_json merged
+      ~fetch:(List.rev !fetch_summaries) ?cache:cache_json merged
   in
   atomic_write results_path json;
   Printf.eprintf "[bench] jobs=%d total=%.1fs — timings in %s\n" jobs

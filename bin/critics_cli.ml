@@ -410,7 +410,7 @@ let trace_cmd =
     in
     Arg.(value & opt int 65536 & info [ "events" ] ~docv:"N" ~doc)
   in
-  let run app scheme instrs window out events =
+  let export app scheme instrs window out events =
     let profile = or_die (lookup_app app) in
     let scheme = parse_scheme scheme in
     let ctx = Critics.Run.prepare ~instrs profile in
@@ -428,15 +428,120 @@ let trace_cmd =
       out;
     Printf.printf "open in https://ui.perfetto.dev or chrome://tracing\n"
   in
-  Cmd.v
+  let export_term =
+    Term.(
+      const export $ app_opt_arg $ scheme_arg $ instrs_arg $ window_arg
+      $ out_arg $ events_arg)
+  in
+  let export_cmd =
+    Cmd.v
+      (Cmd.info "export"
+         ~doc:
+           "Export a Chrome/Perfetto trace of one run (the default when no \
+            subcommand is given)")
+      export_term
+  in
+  let pack_cmd =
+    let pack_out_arg =
+      let doc = "Write the binary trace pack to $(docv)." in
+      Arg.(value & opt string "trace.cpk" & info [ "out" ] ~docv:"FILE" ~doc)
+    in
+    let verify_arg =
+      let doc =
+        "After recording, mmap the pack back and replay it against a \
+         second live walk, requiring bit-identical events."
+      in
+      Arg.(value & flag & info [ "verify" ] ~doc)
+    in
+    let run app scheme instrs out verify =
+      let profile = or_die (lookup_app app) in
+      let scheme = parse_scheme scheme in
+      let ctx = Critics.Run.prepare ~instrs profile in
+      let n = Prog.Trace.Pack.record ~path:out (Critics.Run.stream ctx scheme) in
+      let g = Gc.quick_stat () in
+      let bytes = (Unix.stat out).Unix.st_size in
+      Printf.printf "%s / %s: %d events, %d bytes -> %s\n" profile.name
+        (Critics.Scheme.name scheme) n bytes out;
+      Printf.printf "gc: major_words %.0f, top_heap_words %d\n" g.Gc.major_words
+        g.Gc.top_heap_words;
+      if verify then begin
+        match Prog.Trace.Pack.open_file out with
+        | Error msg ->
+          Printf.eprintf "verify FAILED: %s\n" msg;
+          exit 1
+        | Ok pk ->
+          let program = Critics.Run.transformed ctx scheme in
+          let replay = Prog.Trace.Pack.cursor pk program in
+          let live = Critics.Run.stream ctx scheme in
+          let compared = ref 0 in
+          let rec go () =
+            let a = Prog.Trace.Stream.next_ev replay in
+            let b = Prog.Trace.Stream.next_ev live in
+            let fin = Prog.Trace.Stream.end_marker in
+            if a == fin && b == fin then ()
+            else if a == fin || b == fin then begin
+              Printf.eprintf "verify FAILED: event count mismatch at %d\n"
+                !compared;
+              exit 1
+            end
+            else if a <> b then begin
+              Printf.eprintf "verify FAILED: event %d diverges (uid %d vs %d)\n"
+                !compared a.instr.uid b.instr.uid;
+              exit 1
+            end
+            else begin
+              incr compared;
+              go ()
+            end
+          in
+          go ();
+          Printf.printf "verify: %d events replayed bit-identical\n" !compared
+      end
+    in
+    Cmd.v
+      (Cmd.info "pack"
+         ~doc:
+           "Record one scheme's event stream into a compact binary trace \
+            pack (length-framed, digest-verified; replayable via mmap in \
+            O(batch) memory)")
+      Term.(
+        const run $ app_opt_arg $ scheme_arg $ instrs_arg $ pack_out_arg
+        $ verify_arg)
+  in
+  let info_cmd =
+    let file_arg =
+      let doc = "Trace pack file to inspect." in
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+    in
+    let run file =
+      match Prog.Trace.Pack.open_file file with
+      | Error msg ->
+        Printf.eprintf "%s: %s\n" file msg;
+        exit 1
+      | Ok pk ->
+        Printf.printf "file:    %s\n" file;
+        Printf.printf "version: %d\n" Prog.Trace.Pack.version;
+        Printf.printf "events:  %d\n" (Prog.Trace.Pack.count pk);
+        Printf.printf "bytes:   %d (%d header + %d x %d records)\n"
+          (Prog.Trace.Pack.file_bytes pk)
+          Prog.Trace.Pack.header_bytes
+          (Prog.Trace.Pack.count pk)
+          Prog.Trace.Pack.record_bytes;
+        Printf.printf "digest:  verified\n"
+    in
+    Cmd.v
+      (Cmd.info "info"
+         ~doc:
+           "Print a trace pack's header: format version, event count and \
+            length framing (opening verifies the payload digest)")
+      Term.(const run $ file_arg)
+  in
+  Cmd.group ~default:export_term
     (Cmd.info "trace"
        ~doc:
-         "Export a Chrome/Perfetto trace of one run: per-stage \
-          cycle-attribution counter tracks, one async span per CritIC \
-          chain instance, instant events for faults")
-    Term.(
-      const run $ app_opt_arg $ scheme_arg $ instrs_arg $ window_arg
-      $ out_arg $ events_arg)
+         "Trace tooling: export a Chrome/Perfetto trace of one run \
+          (default), record a binary trace pack, or inspect one")
+    [ export_cmd; pack_cmd; info_cmd ]
 
 (* ------------------------------- report --------------------------- *)
 

@@ -9,6 +9,14 @@ type scheme_cache = {
      between transformed schemes. *)
   mutable entries : (Scheme.t * Prog.Program.t) list;
   mutable transforms : int;
+  (* Opened trace packs (mmap handles) and their record/replay
+     bookkeeping; packs are tiny resident state (a map + counters), so
+     they are not LRU-bounded like transformed programs. *)
+  mutable packs : (Scheme.t * Prog.Trace.Pack.t) list;
+  mutable pack_replays : int;
+  mutable pack_records : int;
+  mutable pack_corrupt : int;
+  mutable pack_bytes : int;
 }
 
 let cache_capacity = 1
@@ -64,7 +72,16 @@ let prepare ?store ?(instrs = default_instrs) ?(sample = 0)
   in
   let pack (program, seed, path, event_count, db) =
     let scheme_cache =
-      { cache_lock = Mutex.create (); entries = []; transforms = 0 }
+      {
+        cache_lock = Mutex.create ();
+        entries = [];
+        transforms = 0;
+        packs = [];
+        pack_replays = 0;
+        pack_records = 0;
+        pack_corrupt = 0;
+        pack_bytes = 0;
+      }
     in
     {
       profile;
@@ -210,9 +227,125 @@ let rec transformed ctx (scheme : Scheme.t) =
 
 let transform_count ctx = ctx.scheme_cache.transforms
 
-let stream ctx scheme =
+(* ------------------------------------------------------------------ *)
+(* Trace record/replay.
+
+   With packing enabled and a store attached, a scheme's dynamic event
+   stream is recorded once into a compact binary pack
+   (Prog.Trace.Pack) keyed by (context key x scheme) — the context key
+   already fingerprints program, seed, path and budget — and every
+   subsequent stream request replays the mmap-ed file instead of
+   re-walking the program.  Replay is bit-identical to the live walk
+   (differential-locked), so results are unchanged; what changes is the
+   cost: no per-event address generation, O(batch) replay memory at any
+   budget.  Off by default: recording costs disk (32 bytes/event). *)
+
+(* Read per call (not latched): tests toggle the variable with
+   [Unix.putenv] around individual runs, and the cost is one getenv per
+   stream request. *)
+let pack_enabled_env () =
+  match Sys.getenv_opt "CRITICS_TRACE_PACK" with
+  | Some ("1" | "true" | "on" | "yes") -> true
+  | Some _ | None -> false
+
+type pack_stats = {
+  replays : int;  (** cursors served from a mapped pack *)
+  records : int;  (** pack files recorded (first-run cost) *)
+  corrupt : int;  (** packs that failed verification (fell back live) *)
+  bytes : int;    (** total file bytes of packs opened for replay *)
+}
+
+let pack_stats ctx =
+  let c = ctx.scheme_cache in
+  Mutex.lock c.cache_lock;
+  let s =
+    {
+      replays = c.pack_replays;
+      records = c.pack_records;
+      corrupt = c.pack_corrupt;
+      bytes = c.pack_bytes;
+    }
+  in
+  Mutex.unlock c.cache_lock;
+  s
+
+let live_stream ctx scheme =
   Prog.Trace.Stream.of_program (transformed ctx scheme) ~seed:ctx.seed
     ctx.path
+
+let pack_for ctx scheme =
+  match ctx.store with
+  | None -> None
+  | Some st when pack_enabled_env () -> (
+    let c = ctx.scheme_cache in
+    Mutex.lock c.cache_lock;
+    let cached = List.assoc_opt scheme c.packs in
+    Mutex.unlock c.cache_lock;
+    match cached with
+    | Some p -> Some p
+    | None ->
+      let key = Store.key ~kind:"tracepack" [ ctx.ckey; Scheme.name scheme ] in
+      let open_verified () =
+        match Store.find_blob st key with
+        | None -> None
+        | Some path -> (
+          match Prog.Trace.Pack.open_file path with
+          | Ok p -> Some p
+          | Error _ ->
+            (* Counted like any corrupt store entry, then removed: the
+               next request re-records; this one walks live. *)
+            Store.remove_blob st key;
+            Mutex.lock c.cache_lock;
+            c.pack_corrupt <- c.pack_corrupt + 1;
+            Mutex.unlock c.cache_lock;
+            None)
+      in
+      let record () =
+        let program = transformed ctx scheme in
+        let ok =
+          Store.add_blob st key (fun tmp ->
+              ignore
+                (Prog.Trace.Pack.record ~path:tmp
+                   (Prog.Trace.Stream.of_program program ~seed:ctx.seed
+                      ctx.path)))
+        in
+        if ok then begin
+          Mutex.lock c.cache_lock;
+          c.pack_records <- c.pack_records + 1;
+          Mutex.unlock c.cache_lock;
+          open_verified ()
+        end
+        else None
+      in
+      let opened =
+        match open_verified () with Some p -> Some p | None -> record ()
+      in
+      (match opened with
+      | None -> None
+      | Some p -> (
+        Mutex.lock c.cache_lock;
+        (* A concurrent domain may have opened its own handle; keep the
+           first and let the duplicate mapping be collected. *)
+        match List.assoc_opt scheme c.packs with
+        | Some winner ->
+          Mutex.unlock c.cache_lock;
+          Some winner
+        | None ->
+          c.packs <- (scheme, p) :: c.packs;
+          c.pack_bytes <- c.pack_bytes + Prog.Trace.Pack.file_bytes p;
+          Mutex.unlock c.cache_lock;
+          Some p)))
+  | Some _ -> None
+
+let stream ctx scheme =
+  match pack_for ctx scheme with
+  | None -> live_stream ctx scheme
+  | Some p ->
+    let c = ctx.scheme_cache in
+    Mutex.lock c.cache_lock;
+    c.pack_replays <- c.pack_replays + 1;
+    Mutex.unlock c.cache_lock;
+    Prog.Trace.Pack.cursor p (transformed ctx scheme)
 
 let source ctx scheme : Pipeline.Cpu.source = fun () -> stream ctx scheme
 

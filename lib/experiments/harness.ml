@@ -251,12 +251,60 @@ let telemetry_registry_for t jobs =
     keys;
   into
 
+(* Fetch-bandwidth aggregate over a job set's memoized results: total
+   instruction bytes delivered and total simulated cycles, summed over
+   the distinct (app, scheme, config) simulations the jobs name.  Jobs
+   not yet simulated contribute nothing. *)
+let fetch_totals_for t jobs =
+  let keys =
+    List.filter_map
+      (fun j ->
+        Option.map
+          (fun scheme ->
+            result_key j.job_profile scheme (config_fingerprint j.job_config))
+          j.job_scheme)
+      jobs
+    |> List.sort_uniq compare
+  in
+  List.fold_left
+    (fun (bytes, cycles) key ->
+      Mutex.lock t.lock;
+      let st = Hashtbl.find_opt t.results key in
+      Mutex.unlock t.lock;
+      match st with
+      | Some (s : Pipeline.Stats.t) ->
+        (bytes + s.fetch_bytes, cycles + s.cycles)
+      | None -> (bytes, cycles))
+    (0, 0) keys
+
 let cache_registry t =
   let reg = Telemetry.Registry.create () in
   (match t.store with Some st -> Store.publish st reg | None -> ());
   Telemetry.Registry.add
     (Telemetry.Registry.counter reg "harness/context_evict")
     (context_evictions t);
+  (* Trace-pack record/replay counters, summed over resident contexts.
+     (Contexts evicted from the LRU take their counters with them; the
+     store's own hit/miss counters above remain cumulative.) *)
+  let packs =
+    Mutex.lock t.lock;
+    let l = Hashtbl.fold (fun _ ctx acc -> ctx :: acc) t.contexts [] in
+    Mutex.unlock t.lock;
+    List.map Critics.Run.pack_stats l
+  in
+  let sum f = List.fold_left (fun a p -> a + f p) 0 packs in
+  Telemetry.Registry.add
+    (Telemetry.Registry.counter reg "trace_pack/replays")
+    (sum (fun (p : Critics.Run.pack_stats) -> p.replays));
+  Telemetry.Registry.add
+    (Telemetry.Registry.counter reg "trace_pack/records")
+    (sum (fun (p : Critics.Run.pack_stats) -> p.records));
+  Telemetry.Registry.add
+    (Telemetry.Registry.counter reg "trace_pack/corrupt")
+    (sum (fun (p : Critics.Run.pack_stats) -> p.corrupt));
+  Telemetry.Registry.add
+    (Telemetry.Registry.counter reg "trace_pack/bytes")
+    (sum (fun (p : Critics.Run.pack_stats) -> p.bytes));
   reg
 
 let telemetry_registry t =

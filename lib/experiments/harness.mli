@@ -67,7 +67,10 @@ val context_evictions : t -> int
 val cache_registry : t -> Telemetry.Registry.t
 (** Cache-effectiveness counters as a telemetry registry: the attached
     store's [store/hit], [store/miss], [store/write], [store/corrupt]
-    and [store/bytes] series (when a store is attached) plus
+    and [store/bytes] series (when a store is attached), the trace-pack
+    record/replay counters summed over resident contexts
+    ([trace_pack/replays], [trace_pack/records], [trace_pack/corrupt],
+    [trace_pack/bytes] — see {!Critics.Run.pack_stats}), plus
     [harness/context_evict]. *)
 
 val pool : t -> Parallel.Pool.t
@@ -147,6 +150,11 @@ val telemetry_registry_for : t -> job list -> Telemetry.Registry.t
 (** The probe registries of the given jobs' memo keys merged (duplicate
     keys counted once, sorted-key order) — how bench scopes histogram
     summaries to one artifact's job set. *)
+
+val fetch_totals_for : t -> job list -> int * int
+(** [(fetch_bytes, cycles)] summed over the distinct simulations the
+    given jobs name (memoized results only) — the fetch-bandwidth
+    aggregate bench embeds per artifact in BENCH_results.json. *)
 
 (** {2 Supervised batch evaluation}
 

@@ -1,0 +1,146 @@
+type decoded = {
+  d_opcode : Opcode.t;
+  d_cond : Instr.cond;
+  d_dst : Reg.t option;
+  d_srcs : Reg.t list;
+  d_cdp_count : int;
+}
+
+type handler =
+  | Format of string * (int -> (decoded, string) result)
+  | Trap of string
+
+let ( let* ) = Result.bind
+let absent = 0xF
+
+(* A 4-bit Thumb operand field: 0..10 name a register, 0xF is "no
+   operand", 11..14 have no meaning (the encoder can never emit them). *)
+let t16_field h shift =
+  match (h lsr shift) land 0xF with
+  | v when v = absent -> Ok None
+  | v when v <= Reg.thumb_limit -> Ok (Some (Reg.r v))
+  | v -> Error (Printf.sprintf "operand field %d outside r0..r10" v)
+
+let work_format op name =
+  Format
+    ( name,
+      fun h ->
+        let* dst = t16_field h 8 in
+        let* s1 = t16_field h 4 in
+        let* s2 = t16_field h 0 in
+        let* srcs =
+          match (s1, s2) with
+          | Some a, Some b -> Ok [ a; b ]
+          | Some a, None -> Ok [ a ]
+          | None, None -> Ok []
+          | None, Some _ -> Error "src2 present without src1"
+        in
+        Ok { d_opcode = op; d_cond = Instr.Always; d_dst = dst;
+             d_srcs = srcs; d_cdp_count = 0 } )
+
+let cdp_format =
+  Format
+    ( "t-cdp",
+      fun h ->
+        if (h lsr 4) land 0xFF <> 0 then
+          Error "CDP marker has non-zero operand fields"
+        else
+          let l = h land 0xF in
+          if l > 8 then Error "CDP length field exceeds 8 (1..9 follow)"
+          else
+            Ok { d_opcode = Opcode.Cdp_switch; d_cond = Instr.Always;
+                 d_dst = None; d_srcs = []; d_cdp_count = l + 1 } )
+
+(* Upper byte = opcode nibble | dst nibble: the dst field is part of the
+   dispatch index (as in the exemplar table), so illegal dst values trap
+   straight from the LUT without entering a handler. *)
+let classify upper =
+  let op_nib = (upper lsr 4) land 0xF in
+  let dst_nib = upper land 0xF in
+  if op_nib = 0xF then
+    if dst_nib = 0 then cdp_format
+    else Trap "CDP marker requires a zero dst field"
+  else
+    match Encode.op_of_index op_nib with
+    | None -> Trap (Printf.sprintf "undefined 16-bit opcode %#x" op_nib)
+    | Some op ->
+      if dst_nib = absent || dst_nib <= Reg.thumb_limit then
+        work_format op ("t-" ^ Opcode.to_string op)
+      else
+        Trap (Printf.sprintf "dst field %d outside r0..r10" dst_nib)
+
+let thumb_lut = Array.init 256 classify
+
+let decode16 h =
+  if h < 0 || h > 0xFFFF then Error "halfword out of range"
+  else
+    match thumb_lut.((h lsr 8) land 0xFF) with
+    | Trap reason -> Error reason
+    | Format (_, dec) -> dec h
+
+let a32_srcs w n =
+  let rec go k acc =
+    if k < 0 then acc
+    else go (k - 1) (Reg.r ((w lsr (12 - (4 * k))) land 0xF) :: acc)
+  in
+  go (n - 1) []
+
+let decode32 w =
+  if w < 0 || w > 0xFFFFFFFF then Error "word out of range"
+  else
+    let* cond =
+      match Encode.cond_of_bits ((w lsr 28) land 0xF) with
+      | Some c -> Ok c
+      | None ->
+        Error (Printf.sprintf "undefined condition code %#x" ((w lsr 28) land 0xF))
+    in
+    let* op =
+      match Encode.op_of_index ((w lsr 24) land 0xF) with
+      | Some op -> Ok op
+      | None ->
+        Error (Printf.sprintf "undefined 32-bit opcode %#x" ((w lsr 24) land 0xF))
+    in
+    let nsrcs = (w lsr 21) land 0x7 in
+    let* () = if nsrcs > 4 then Error "source count exceeds 4" else Ok () in
+    let dst = if (w lsr 20) land 1 = 1 then Some (Reg.r ((w lsr 16) land 0xF)) else None in
+    let* () =
+      (* unused fields must read zero so every word has one decoding *)
+      let used_srcs_mask = lnot ((1 lsl (16 - (4 * nsrcs))) - 1) land 0xFFFF in
+      let unused_dst = if dst = None && (w lsr 16) land 0xF <> 0 then true else false in
+      if unused_dst then Error "dst field set without has-dst"
+      else if w land 0xFFFF land lnot used_srcs_mask <> 0 then
+        Error "unused source fields must be zero"
+      else Ok ()
+    in
+    Ok { d_opcode = op; d_cond = cond; d_dst = dst;
+         d_srcs = a32_srcs w nsrcs; d_cdp_count = 0 }
+
+let decode_bytes s =
+  let byte k = Char.code s.[k] in
+  match String.length s with
+  | 2 -> decode16 (byte 0 lor (byte 1 lsl 8))
+  | 4 -> decode32 (byte 0 lor (byte 1 lsl 8) lor (byte 2 lsl 16) lor (byte 3 lsl 24))
+  | n -> Error (Printf.sprintf "wire encoding must be 2 or 4 bytes, got %d" n)
+
+(* A representative halfword for each Format entry: the upper byte with
+   absent src fields (or, for CDP, a zero length field). *)
+let representative upper =
+  if (upper lsr 4) land 0xF = 0xF then upper lsl 8
+  else (upper lsl 8) lor (absent lsl 4) lor absent
+
+let check_total () =
+  if Array.length thumb_lut <> 256 then Error "LUT is not 256 entries"
+  else
+    let rec go i =
+      if i = 256 then Ok ()
+      else
+        match thumb_lut.(i) with
+        | Trap "" -> Error (Printf.sprintf "entry %#x traps without a reason" i)
+        | Trap _ -> go (i + 1)
+        | Format (name, dec) -> (
+          match dec (representative i) with
+          | Ok _ -> go (i + 1)
+          | Error e ->
+            Error (Printf.sprintf "entry %#x (%s) rejects its representative: %s" i name e))
+    in
+    go 0

@@ -1,0 +1,45 @@
+(** Instruction decoders: the inverse of {!Encode}, with the 16-bit
+    side dispatched through a 256-entry format LUT.
+
+    Following the classic table-driven Thumb decoder (gba-odin's
+    [thumb.odin]), the 16-bit format is dispatched on the halfword's
+    upper byte — opcode nibble plus dst nibble — so every one of the 256
+    possible upper bytes resolves, at table-construction time, either to
+    a format handler or to an explicit trap naming why no encoding lives
+    there.  {!check_total} re-verifies that totality constructively and
+    is run by the test suite over all 65536 halfwords. *)
+
+type decoded = {
+  d_opcode : Opcode.t;
+  d_cond : Instr.cond;
+  d_dst : Reg.t option;
+  d_srcs : Reg.t list;
+  d_cdp_count : int;  (** [0] except for the CDP format switch *)
+}
+(** The structural fields a wire encoding carries.  [uid], memory
+    signatures and chain tags are simulator metadata with no wire
+    representation. *)
+
+type handler =
+  | Format of string * (int -> (decoded, string) result)
+      (** format name + full-halfword decoder (which still validates the
+          low-byte operand fields) *)
+  | Trap of string  (** no encoding has this upper byte; the reason *)
+
+val thumb_lut : handler array
+(** The 256-entry dispatch table, indexed by halfword bits [15:8]. *)
+
+val decode16 : int -> (decoded, string) result
+(** Decode a halfword in [0, 0xFFFF] via {!thumb_lut}. *)
+
+val decode32 : int -> (decoded, string) result
+(** Decode a 32-bit word in [0, 0xFFFFFFFF]. *)
+
+val decode_bytes : string -> (decoded, string) result
+(** Decode little-endian wire bytes by length: 2 → {!decode16},
+    4 → {!decode32}. *)
+
+val check_total : unit -> (unit, string) result
+(** Constructive totality: the LUT has exactly 256 entries; every
+    [Format] handler decodes its canonical representative halfword; every
+    [Trap] carries a non-empty reason.  Returns the first violation. *)

@@ -25,9 +25,14 @@ type t = {
 
 let is_predicated t = t.cond <> Always
 
+(* Structural mirror of the 16-bit wire format (Encode.encode16): two
+   4-bit source fields, one dst field, no predication, registers within
+   the Thumb operand range.  Encode.thumb_convertible is the operative
+   predicate; agreement between the two is qcheck-locked. *)
 let thumb_convertible t =
   (not (is_predicated t))
   && Opcode.thumb_expressible t.opcode
+  && (match t.srcs with _ :: _ :: _ :: _ -> false | _ -> true)
   && List.for_all Reg.thumb_addressable
        (t.srcs @ Option.to_list t.dst)
 

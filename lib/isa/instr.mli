@@ -68,15 +68,22 @@ val make :
     opcode or a Thumb16 encoding violates {!thumb_convertible}. *)
 
 val size_bytes : t -> int
-(** 4 for [Arm32], 2 for [Thumb16], 0 for [Fused]. *)
+(** 4 for [Arm32], 2 for [Thumb16], 0 for [Fused] — the width claimed by
+    the encoding tag.  Equal to the length of [Encode.encode] whenever
+    that encoder succeeds (test-locked); only the hypothetical
+    re-encodings of the upper-bound studies keep a claimed width with no
+    real wire bytes. *)
 
 val is_predicated : t -> bool
 
 val thumb_convertible : t -> bool
 (** The paper's conversion rule: an instruction can be represented in the
     16-bit format iff it is not predicated, every register operand is
-    addressable by the Thumb operand fields (≤ R10), and the opcode class
-    has a Thumb encoding. *)
+    addressable by the Thumb operand fields (≤ R10), it has at most two
+    sources (the format has two source fields), and the opcode class has
+    a Thumb encoding.  This is the structural spec of
+    [Encode.thumb_convertible] ("the 16-bit encoder succeeds"), which is
+    what the compiler passes consult; agreement is qcheck-locked. *)
 
 val with_encoding : encoding -> t -> t
 (** Re-encode; raises [Invalid_argument] when converting a

@@ -20,6 +20,7 @@ type t = {
   critical_load_prefetch : bool;
   efetch : bool;
   wrong_path_fetch : bool;
+  byte_fetch : bool;
   fanout_critical_threshold : int;
 }
 
@@ -44,8 +45,11 @@ let table_i =
     critical_load_prefetch = false;
     efetch = false;
     wrong_path_fetch = false;
+    byte_fetch = false;
     fanout_critical_threshold = 4;
   }
+
+let with_byte_fetch t = { t with byte_fetch = true }
 
 let with_2x_fd t =
   {
@@ -72,7 +76,9 @@ let describe t =
   let b = Printf.sprintf in
   [
     ("pipeline width", b "%d-wide" t.width);
-    ("fetch group", b "%d bytes/cycle" t.fetch_bytes);
+    ( "fetch group",
+      b "%d bytes/cycle%s" t.fetch_bytes
+        (if t.byte_fetch then ", byte-accurate aligned windows" else "") );
     ("ROB", b "%d entries" t.rob);
     ("issue queue", b "%d entries" t.iq);
     ( "functional units",

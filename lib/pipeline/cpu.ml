@@ -182,7 +182,7 @@ let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit ?probe
   let crit_table =
     Criticality_table.create ~threshold:cfg.fanout_critical_threshold ()
   in
-  let efetch = Efetch.create () in
+  let efetch = Efetch.create ~line_bytes:cfg.mem.line_bytes () in
 
   let invariant_fail fmt =
     Printf.ksprintf
@@ -352,6 +352,10 @@ let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit ?probe
 
   (* Functional units. *)
   let div_busy_until = ref 0 in
+
+  (* Fetch-bandwidth counters (maintained in both fetch modes). *)
+  let fbytes_total = ref 0 in
+  let fgroups = ref 0 in
 
   (* Retirement counters. *)
   let committed_total = ref 0 in
@@ -826,7 +830,16 @@ let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit ?probe
         incr idle_supply
       end
       else begin
-        bytes := cfg.fetch_bytes;
+        (* Group budget.  Default mode: a flat [fetch_bytes] allowance,
+           regardless of alignment — the seed-era behaviour the golden
+           digests pin.  Byte-accurate mode: the group is the aligned
+           [fetch_bytes] window the head's pc falls in, so only the
+           bytes from pc to the window end are available this cycle.
+           [fetch_bytes] is a power of two in every configuration. *)
+        bytes :=
+          if cfg.byte_fetch then
+            cfg.fetch_bytes - (first.ev.pc land (cfg.fetch_bytes - 1))
+          else cfg.fetch_bytes;
         new_line_accessed := false;
         fetched_any := false;
         blocked_bp := false;
@@ -855,9 +868,19 @@ let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit ?probe
                     stop := true
                   end
                 end;
-                if (not !stop) && !bytes < s.ev.size then stop := true;
+                if (not !stop) && !bytes < s.ev.size then begin
+                  (* In byte-accurate mode an instruction straddling the
+                     window boundary at the very start of a group is
+                     still fetched (hardware fetches both windows over
+                     two accesses); the negative remaining budget then
+                     terminates the group, so fetch always progresses.
+                     Mid-group straddles wait for the next window. *)
+                  if not (cfg.byte_fetch && not !fetched_any) then
+                    stop := true
+                end;
                 if not !stop then begin
                   bytes := !bytes - s.ev.size;
+                  fbytes_total := !fbytes_total + s.ev.size;
                   s.fetched <- now;
                   s.stall_i <- s.stall_i + !pending_stall_i;
                   s.stall_bp <- s.stall_bp + !pending_stall_bp;
@@ -897,6 +920,7 @@ let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit ?probe
           end
         done;
         if !fetched_any then begin
+          incr fgroups;
           if checks then incr fetch_active;
           pending_stall_i := 0;
           pending_stall_bp := 0
@@ -1019,6 +1043,8 @@ let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit ?probe
     dram = Mem.Hierarchy.dram_stats hier;
     efetch_predictions = Efetch.predictions efetch;
     efetch_correct = Efetch.correct efetch;
+    fetch_bytes = !fbytes_total;
+    fetch_groups = !fgroups;
   }
 
 let run ?warm ?checks ?fuel ?on_commit ?probe (cfg : Config.t)

@@ -1,23 +1,23 @@
 type t = {
   table : int array; (* signature slot -> predicted call target; 0 = cold *)
   lines_ahead : int;
+  line_bytes : int;
   mutable signature : int;
   mutable last_prediction : int;
   mutable predictions : int;
   mutable correct : int;
 }
 
-let create ?(entries = 4096) ?(lines_ahead = 4) () =
+let create ?(entries = 4096) ?(lines_ahead = 4) ?(line_bytes = 64) () =
   {
     table = Array.make entries 0;
     lines_ahead;
+    line_bytes;
     signature = 0;
     last_prediction = 0;
     predictions = 0;
     correct = 0;
   }
-
-let line_bytes = 64
 
 let slot t = (t.signature * 0x9E3779B1 land max_int) mod Array.length t.table
 
@@ -38,7 +38,7 @@ let on_call t ~target =
   t.last_prediction <- next;
   ignore predicted;
   if next = 0 then []
-  else List.init t.lines_ahead (fun k -> next + (k * line_bytes))
+  else List.init t.lines_ahead (fun k -> next + (k * t.line_bytes))
 
 let predictions t = t.predictions
 let correct t = t.correct

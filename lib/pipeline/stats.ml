@@ -61,7 +61,17 @@ type t = {
   dram : Mem.Dram.stats;
   efetch_predictions : int;
   efetch_correct : int;
+  (* New fields go at the end: the golden-digest tests marshal a
+     projection tuple of the seed-era fields (see test_golden.ml), which
+     only stays byte-compatible if the established prefix keeps its
+     declaration order. *)
+  fetch_bytes : int;
+  fetch_groups : int;
 }
+
+let bytes_per_cycle t =
+  if t.cycles = 0 then 0.0
+  else float_of_int t.fetch_bytes /. float_of_int t.cycles
 
 let ipc t =
   if t.cycles = 0 then 0.0
@@ -94,6 +104,9 @@ let render t =
       ("cdp markers", string_of_int t.cdp_markers);
       ("fetch idle (supply)", string_of_int t.fetch_idle_supply);
       ("fetch idle (backpressure)", string_of_int t.fetch_idle_backpressure);
+      ( "fetch bandwidth",
+        Printf.sprintf "%d bytes in %d groups (%.2f B/cycle)" t.fetch_bytes
+          t.fetch_groups (bytes_per_cycle t) );
       ("stage shares (all)", shares t.stage_all);
       ("stage shares (critical)", shares t.stage_critical);
       ( "bpu",

@@ -53,10 +53,24 @@ type t = {
   dram : Mem.Dram.stats;
   efetch_predictions : int;
   efetch_correct : int;
+  fetch_bytes : int;
+      (** instruction bytes delivered by fetch groups (counted whether or
+          not {!Config.t.byte_fetch} is on; under byte-accurate fetch the
+          group boundaries depend on these widths) *)
+  fetch_groups : int;
+      (** fetch groups formed (cycles in which fetch delivered ≥ 1
+          instruction) *)
 }
+(** New fields are appended at the end: the golden-digest tests marshal
+    a projection tuple of the seed-era prefix, which pins its
+    declaration order. *)
 
 val ipc : t -> float
 (** Work instructions per cycle. *)
+
+val bytes_per_cycle : t -> float
+(** Fetch bandwidth actually used: instruction bytes delivered per
+    simulated cycle. *)
 
 val critical_fraction : t -> float
 (** Share of committed work instructions classified critical. *)

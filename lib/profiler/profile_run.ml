@@ -101,7 +101,7 @@ let profile_stream ?(window = 512) ?(threshold = 4.0) ?(max_len = 9)
             convertible =
               List.for_all
                 (fun (e : Prog.Trace.event) ->
-                  Isa.Instr.thumb_convertible e.instr)
+                  Isa.Encode.thumb_convertible e.instr)
                 events;
           }
         in

@@ -97,12 +97,14 @@ let length_of_path program path =
       + (match b.Block.term with Block.Fallthrough _ -> 0 | _ -> 1))
     0 path
 
+let dummy_instr = Isa.Instr.make ~uid:(-1) ~opcode:Isa.Opcode.Nop ()
+
 let dummy_event =
   {
     seq = -1;
     pc = 0;
-    size = 4;
-    instr = Isa.Instr.make ~uid:(-1) ~opcode:Isa.Opcode.Nop ();
+    size = Isa.Instr.size_bytes dummy_instr;
+    instr = dummy_instr;
     block_id = -1;
     body_index = -1;
     func = -1;
@@ -222,6 +224,7 @@ module Stream = struct
           (match term with
           | None -> ()
           | Some ins ->
+            let tsize = Isa.Instr.size_bytes ins in
             let taken =
               match b.Block.term with
               | Block.Fallthrough _ -> false
@@ -230,13 +233,13 @@ module Stream = struct
                 v + 1 < npath && path.(v + 1) = taken
             in
             let next_pc =
-              match continue_pc with Some a -> a | None -> !pc + 4
+              match continue_pc with Some a -> a | None -> !pc + tsize
             in
             c.buf.(nbody) <-
               {
                 seq = !seq;
                 pc = !pc;
-                size = 4;
+                size = tsize;
                 instr = ins;
                 block_id;
                 body_index = -1;
@@ -249,7 +252,7 @@ module Stream = struct
                   | Block.Return -> false);
                 taken;
                 next_pc;
-                fetch_break = taken || next_pc <> !pc + 4;
+                fetch_break = taken || next_pc <> !pc + tsize;
               };
             incr seq);
           c.pos <- 0;
@@ -347,6 +350,239 @@ let expand program ~seed path =
       (Stream.of_program program ~seed path);
     arr
   end
+
+module Pack = struct
+  (* Compact binary trace container (DESIGN.md §13).
+
+     Layout (all integers little-endian):
+
+       0   magic   "CRTCPK01"                      8 bytes
+       8   version i32                             4 bytes
+       12  count   i64 (number of event records)   8 bytes
+       20  digest  MD5 of the record region        16 bytes
+       36  pad     zero                            12 bytes
+       48  records count x 32 bytes
+
+     Record (32 bytes): uid i32 | pc i32 | next_pc i32 | block_id i32 |
+     body_index i32 (-1 = terminator) | flags u8 (bit0 is_cond_branch,
+     bit1 taken, bit2 fetch_break) | pad 3 | mem_addr i64 (-1 = none).
+     [seq] is the record index; [size], [func] and the [instr] pointer
+     are resolved from the program at replay, so a pack is only
+     meaningful against the exact program it was recorded from — the
+     store key (context key x scheme) enforces that.
+
+     Replay maps the file with [Unix.map_file]: the payload stays in the
+     page cache (no read copies), decoding works in unboxed ints, and
+     the only per-event allocation is the delivered event record itself
+     — required by the cursor contract, since consumers may retain
+     events beyond the refill batch. *)
+
+  type t = {
+    map : (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout)
+        Bigarray.Array1.t;
+    count : int;
+    file_bytes : int;
+  }
+
+  let version = 1
+  let magic = "CRTCPK01"
+  let header_bytes = 48
+  let record_bytes = 32
+
+  let count t = t.count
+  let file_bytes t = t.file_bytes
+
+  let flag_bits e =
+    (if e.is_cond_branch then 1 else 0)
+    lor (if e.taken then 2 else 0)
+    lor if e.fetch_break then 4 else 0
+
+  let put_record b e =
+    Bytes.set_int32_le b 0 (Int32.of_int e.instr.Isa.Instr.uid);
+    Bytes.set_int32_le b 4 (Int32.of_int e.pc);
+    Bytes.set_int32_le b 8 (Int32.of_int e.next_pc);
+    Bytes.set_int32_le b 12 (Int32.of_int e.block_id);
+    Bytes.set_int32_le b 16 (Int32.of_int e.body_index);
+    Bytes.set_int32_le b 20 (Int32.of_int (flag_bits e));
+    Bytes.set_int64_le b 24 (Int64.of_int e.mem_addr)
+
+  let write_header oc ~count ~digest =
+    output_string oc magic;
+    let b = Bytes.make (header_bytes - 8) '\000' in
+    Bytes.set_int32_le b 0 (Int32.of_int version);
+    Bytes.set_int64_le b 4 (Int64.of_int count);
+    Bytes.blit_string digest 0 b 12 16;
+    output_bytes oc b
+
+  let record ~path cursor =
+    let oc = open_out_bin path in
+    let count = ref 0 in
+    (try
+       write_header oc ~count:0 ~digest:(String.make 16 '\000');
+       let b = Bytes.create record_bytes in
+       Stream.iter
+         (fun e ->
+           put_record b e;
+           output_bytes oc b;
+           incr count)
+         cursor;
+       close_out oc
+     with exn ->
+       close_out_noerr oc;
+       raise exn);
+    (* One streaming pass for the payload digest, then patch the header
+       in place: the file never holds a valid digest over partial data. *)
+    let digest =
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          seek_in ic header_bytes;
+          Digest.channel ic (!count * record_bytes))
+    in
+    let oc = open_out_gen [ Open_wronly; Open_binary ] 0o644 path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> write_header oc ~count:!count ~digest);
+    !count
+
+  let open_file path =
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          if len < header_bytes then Error "pack file shorter than header"
+          else begin
+            let hdr = really_input_string ic header_bytes in
+            if String.sub hdr 0 8 <> magic then Error "bad pack magic"
+            else begin
+              let ver = Int32.to_int (String.get_int32_le hdr 8) in
+              if ver <> version then
+                Error (Printf.sprintf "pack version %d, expected %d" ver version)
+              else begin
+                let count = Int64.to_int (String.get_int64_le hdr 12) in
+                let digest = String.sub hdr 20 16 in
+                if count < 0 || len <> header_bytes + (count * record_bytes)
+                then Error "pack length does not match record count"
+                else begin
+                  seek_in ic header_bytes;
+                  let actual = Digest.channel ic (count * record_bytes) in
+                  if not (Digest.equal actual digest) then
+                    Error "pack payload digest mismatch"
+                  else Ok (count, len)
+                end
+              end
+            end
+          end)
+    with
+    | exception Sys_error e -> Error e
+    | exception End_of_file -> Error "truncated pack header"
+    | Error _ as e -> e
+    | Ok (count, len) -> (
+      match
+        let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () ->
+            Bigarray.array1_of_genarray
+              (Unix.map_file fd Bigarray.char Bigarray.c_layout false
+                 [| len |]))
+      with
+      | map -> Ok { map; count; file_bytes = len }
+      | exception Unix.Unix_error (e, _, _) ->
+        Error (Unix.error_message e))
+
+  (* Field readers over the mapped file; manual byte assembly keeps the
+     hot loop free of Int32/Int64 boxing. *)
+  let[@inline] u8 m off = Char.code (Bigarray.Array1.unsafe_get m off)
+
+  let[@inline] u32 m off =
+    u8 m off
+    lor (u8 m (off + 1) lsl 8)
+    lor (u8 m (off + 2) lsl 16)
+    lor (u8 m (off + 3) lsl 24)
+
+  let[@inline] i32 m off =
+    let v = u32 m off in
+    if v land 0x8000_0000 <> 0 then v - 0x1_0000_0000 else v
+
+  let[@inline] i64_as_int m off =
+    let lo = u32 m off and hi = u32 m (off + 4) in
+    if hi = 0xFFFF_FFFF && lo = 0xFFFF_FFFF then -1
+    else (hi lsl 32) lor lo
+
+  let batch = 512
+
+  let cursor t program =
+    let nblocks =
+      Array.fold_left
+        (fun acc (b : Block.t) -> max acc (b.Block.id + 1))
+        0 (Program.blocks program)
+    in
+    (* Static side resolved once per cursor: body instructions dense by
+       uid, synthetic terminators and functions dense by block id. *)
+    let body = Array.make (Program.max_uid program + 2) dummy_instr in
+    Program.iter_instrs
+      (fun _ i -> body.(i.Isa.Instr.uid) <- i)
+      program;
+    let term = Array.make nblocks dummy_instr in
+    let func = Array.make nblocks (-1) in
+    Array.iter
+      (fun (b : Block.t) ->
+        func.(b.Block.id) <- b.Block.func;
+        match terminator_instr b.Block.id b.Block.term with
+        | Some i -> term.(b.Block.id) <- i
+        | None -> ())
+      (Program.blocks program);
+    let map = t.map in
+    let idx = ref 0 in
+    let refill c =
+      let i0 = !idx in
+      if i0 >= t.count then begin
+        c.Stream.pos <- 0;
+        c.Stream.lim <- 0
+      end
+      else begin
+        let n = min batch (t.count - i0) in
+        if Array.length c.Stream.buf < n then
+          c.Stream.buf <- Array.make n dummy_event;
+        let buf = c.Stream.buf in
+        for k = 0 to n - 1 do
+          let off = header_bytes + ((i0 + k) * record_bytes) in
+          let uid = u32 map off in
+          let instr =
+            if uid >= control_uid_base then term.(uid - control_uid_base)
+            else body.(uid)
+          in
+          let flags = u8 map (off + 20) in
+          let block_id = u32 map (off + 12) in
+          buf.(k) <-
+            {
+              seq = i0 + k;
+              pc = u32 map (off + 4);
+              size = Isa.Instr.size_bytes instr;
+              instr;
+              block_id;
+              body_index = i32 map (off + 16);
+              func = func.(block_id);
+              mem_addr = i64_as_int map (off + 24);
+              is_cond_branch = flags land 1 <> 0;
+              taken = flags land 2 <> 0;
+              next_pc = u32 map (off + 8);
+              fetch_break = flags land 4 <> 0;
+            }
+        done;
+        idx := i0 + n;
+        c.Stream.pos <- 0;
+        c.Stream.lim <- n
+      end
+    in
+    let c = { Stream.buf = [||]; pos = 0; lim = 0; refill } in
+    refill c;
+    c
+end
 
 let is_work (e : event) =
   e.instr.opcode <> Isa.Opcode.Cdp_switch

@@ -65,6 +65,51 @@ module Stream : sig
   (** Materialize the rest of the stream into an array. *)
 end
 
+module Pack : sig
+  (** Compact binary trace container: a length-framed, versioned,
+      digest-verified file of packed dynamic events (32 bytes each; see
+      DESIGN.md §13 for the exact layout).  Recording streams a cursor
+      to disk once; replay maps the file ([Unix.map_file]) and feeds the
+      standard {!Stream} cursor machinery — the payload stays in the
+      page cache, decoding is unboxed, and the only per-event allocation
+      is the delivered event record itself, so replay memory is O(batch)
+      regardless of budget.
+
+      A pack stores only the dynamic side (uids, addresses, outcomes);
+      instruction pointers, sizes and functions are resolved from the
+      program at replay, so a pack must be replayed against the exact
+      program it was recorded from.  Callers caching packs through the
+      store key them by (context key, scheme) to enforce that. *)
+
+  type t
+
+  val version : int
+  val header_bytes : int
+  val record_bytes : int
+
+  val record : path:string -> Stream.cursor -> int
+  (** Drain [cursor] into a pack file at [path] (overwriting), then
+      patch the header with the payload digest — a crash mid-write never
+      leaves a file whose digest verifies.  Returns the event count. *)
+
+  val open_file : string -> (t, string) result
+  (** Map a pack file, verifying magic, version, framed length and
+      payload digest up front; any mismatch is an [Error] naming the
+      violation (the caller treats it like a cache miss). *)
+
+  val count : t -> int
+  (** Number of event records. *)
+
+  val file_bytes : t -> int
+  (** Total on-disk size, header included. *)
+
+  val cursor : t -> Program.t -> Stream.cursor
+  (** Replay cursor over the mapped records, resolving static fields
+      from [program].  Bit-identical to [Stream.of_program] on the
+      (program, seed, path) the pack was recorded from (test- and
+      differential-locked). *)
+end
+
 val expand : Program.t -> seed:int -> Walk.path -> t
 (** Expand a block path into the dynamic event stream.  Synthetic
     control-transfer instructions are appended per block terminator

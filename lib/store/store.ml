@@ -128,6 +128,51 @@ let add t k payload =
     t.writes <- t.writes + 1
   with Sys_error _ | Unix.Unix_error _ -> ()
 
+(* Raw caller-verified blobs.  Some artifacts — mmap-replayed trace
+   packs — must live as standalone files in their final format rather
+   than as string payloads behind a header line.  The store still owns
+   naming (key → path), atomic installation and orphan sweeping;
+   content integrity is the caller's, whose format is self-verifying
+   (Prog.Trace.Pack frames, versions and digests itself).  A caller
+   that finds a blob corrupt hands it back through [remove_blob] so the
+   corruption is counted like any other. *)
+
+let find_blob t k =
+  let path = path_of t k in
+  if Sys.file_exists path then begin
+    t.hits <- t.hits + 1;
+    Some path
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    None
+  end
+
+let blob_seq = Atomic.make 0
+
+let add_blob t k produce =
+  let path = path_of t k in
+  (* Unique per producer: concurrent domains (or processes) recording
+     the same key must not interleave writes into one temp file; each
+     renames its own complete file, last one wins. *)
+  let tmp =
+    Printf.sprintf "%s.%d-%d.tmp" path (Unix.getpid ())
+      (Atomic.fetch_and_add blob_seq 1)
+  in
+  try
+    mkdir_p (Filename.concat t.dir k.kind);
+    produce tmp;
+    Unix.rename tmp path;
+    t.writes <- t.writes + 1;
+    true
+  with Sys_error _ | Unix.Unix_error _ ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    false
+
+let remove_blob t k =
+  t.corrupt <- t.corrupt + 1;
+  try Sys.remove (path_of t k) with Sys_error _ -> ()
+
 type stats = { hits : int; misses : int; writes : int; corrupt : int }
 
 let stats (t : t) =

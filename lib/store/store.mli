@@ -75,6 +75,29 @@ val add : t -> key -> string -> unit
     I/O failures are swallowed: a read-only or full cache directory
     degrades to recompute-every-time, never to a crash. *)
 
+(** {2 Raw blobs}
+
+    Caller-verified standalone files for artifacts that must keep their
+    own on-disk format (e.g. mmap-replayed trace packs, which are
+    length-framed, versioned and digest-verified by
+    [Prog.Trace.Pack] itself).  The store owns naming, atomic
+    installation and [*.tmp] orphan sweeping; content verification is
+    the caller's. *)
+
+val find_blob : t -> key -> string option
+(** Path of the blob for [key] if one is installed (counted as a hit),
+    else [None] (a miss).  The caller verifies the content; if it is
+    corrupt, report it back via {!remove_blob} and recompute. *)
+
+val add_blob : t -> key -> (string -> unit) -> bool
+(** [add_blob t k produce] calls [produce tmp_path] to write the blob,
+    then atomically renames it into place (last writer wins).  Returns
+    [false] — removing any partial temp file — if production or
+    installation failed; like {!add}, failures never escape. *)
+
+val remove_blob : t -> key -> unit
+(** Drop a blob the caller found corrupt; counted under [corrupt]. *)
+
 (** {2 Introspection} *)
 
 type stats = { hits : int; misses : int; writes : int; corrupt : int }

@@ -69,7 +69,7 @@ let select_block (env : Pass.env) bump chain_counter (block : Prog.Block.t)
             | Pass.Hoist_only | Pass.Fused_macro -> false
           in
           let convertible =
-            env.Pass.options.ideal || List.for_all I.thumb_convertible members
+            env.Pass.options.ideal || List.for_all Isa.Encode.thumb_convertible members
           in
           if needs_conversion && not convertible then
             (* All-or-nothing: the whole sequence stays untouched. *)

@@ -145,7 +145,7 @@ let apply_monolithic ?(options = default_options) (db : Db.t) program =
         | Hoist_only | Fused_macro -> false
       in
       let convertible =
-        options.ideal || List.for_all I.thumb_convertible members
+        options.ideal || List.for_all Isa.Encode.thumb_convertible members
       in
       if needs_conversion && not convertible then begin
         (* All-or-nothing: the whole sequence stays untouched. *)

@@ -21,7 +21,7 @@ let convert_run ~fresh_uid run =
   if run = [] then invalid_arg "Thumb.convert_run: empty run";
   List.iter
     (fun i ->
-      if not (I.thumb_convertible i) then
+      if not (Isa.Encode.thumb_convertible i) then
         invalid_arg "Thumb.convert_run: non-convertible instruction")
     run;
   let rec chunks acc = function
@@ -53,7 +53,7 @@ let convert_block ~fresh_uid ~min_run (block : Prog.Block.t) =
   let eligible (i : I.t) =
     i.encoding = I.Arm32
     && i.opcode <> Isa.Opcode.Cdp_switch
-    && I.thumb_convertible i
+    && Isa.Encode.thumb_convertible i
   in
   let out = ref [] in
   let report = ref zero_report in

@@ -113,6 +113,78 @@ let test_structural_key () =
   Alcotest.(check bool) "key sees operands" false
     (I.structural_key a = I.structural_key c)
 
+(* ------------------------- encode / decode ------------------------ *)
+
+module E = Isa.Encode
+module D = Isa.Decode
+
+let ok_or_fail label = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "%s: %s" label msg
+
+let test_encode_formats () =
+  let i = mk ~dst:(Reg.r 2) ~srcs:[ Reg.r 3; Reg.r 4 ] Op.Alu in
+  let h = ok_or_fail "encode16" (E.encode16 i) in
+  Alcotest.(check bool) "halfword in range" true (h >= 0 && h <= 0xFFFF);
+  let w = ok_or_fail "encode32" (E.encode32 i) in
+  Alcotest.(check bool) "word in range" true (w >= 0 && w <= 0xFFFFFFFF);
+  (* ARM32 predication is encodable; Thumb16 is not. *)
+  let p = mk ~dst:(Reg.r 2) ~cond:I.Ne Op.Alu in
+  Alcotest.(check bool) "predicated 32-bit ok" true
+    (Result.is_ok (E.encode32 p));
+  Alcotest.(check bool) "predicated 16-bit rejected" true
+    (Result.is_error (E.encode16 p));
+  (* The rejection reasons name the violated constraint. *)
+  (match E.encode16 (mk ~dst:(Reg.r 12) Op.Alu) with
+  | Error msg ->
+    Alcotest.(check bool) "names the operand range" true
+      (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "r12 must not encode in 16 bits");
+  Alcotest.(check bool) "3 sources rejected in 16-bit" true
+    (Result.is_error
+       (E.encode16 (mk ~srcs:[ Reg.r 1; Reg.r 2; Reg.r 3 ] Op.Alu)))
+
+let test_encode_bytes_length () =
+  let arm = mk ~dst:(Reg.r 2) Op.Alu in
+  let b = ok_or_fail "encode arm32" (E.encode arm) in
+  Alcotest.(check int) "arm32 wire length" (I.size_bytes arm)
+    (String.length b);
+  let thumb = I.with_encoding I.Thumb16 arm in
+  let b16 = ok_or_fail "encode thumb16" (E.encode thumb) in
+  Alcotest.(check int) "thumb16 wire length" (I.size_bytes thumb)
+    (String.length b16);
+  (* force_thumb creates hypothetical re-encodings: the tag claims a
+     width but no real encoder can honour it. *)
+  let forced = I.force_thumb (mk ~cond:I.Ne ~dst:(Reg.r 2) Op.Alu) in
+  Alcotest.(check int) "forced keeps claimed width" 2 (I.size_bytes forced);
+  Alcotest.(check bool) "forced has no wire bytes" true
+    (Result.is_error (E.encode forced))
+
+let test_cdp_roundtrip () =
+  let c = I.cdp ~uid:3 ~following:7 in
+  let h = ok_or_fail "encode cdp" (E.encode16 c) in
+  let d = ok_or_fail "decode cdp" (D.decode16 h) in
+  Alcotest.(check bool) "cdp opcode" true (d.D.d_opcode = Op.Cdp_switch);
+  Alcotest.(check int) "cdp count survives" 7 d.D.d_cdp_count;
+  (* Counts outside 1..9 have no encoding: low nibble 9..15 rejects. *)
+  Alcotest.(check bool) "count-10 halfword rejected" true
+    (Result.is_error (D.decode16 0xF009))
+
+let test_lut_totality () =
+  (match D.check_total () with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "check_total: %s" msg);
+  Alcotest.(check int) "256 entries" 256 (Array.length D.thumb_lut);
+  (* Exhaustive sweep: every halfword either decodes or returns a
+     reasoned error — never an exception, never an empty reason. *)
+  for h = 0 to 0xFFFF do
+    match D.decode16 h with
+    | Ok _ -> ()
+    | Error msg ->
+      if String.length msg = 0 then
+        Alcotest.failf "halfword %04x: empty rejection reason" h
+  done
+
 (* qcheck: instruction generator over the legal space *)
 let arbitrary_instr =
   let open QCheck.Gen in
@@ -154,6 +226,85 @@ let prop_roundtrip_encoding =
       I.size_bytes t = 2 && I.size_bytes back = 4
       && I.structural_key back = I.structural_key i)
 
+(* A wider generator for the wire formats: full register range (so
+   operand-range rejects are exercised), 0-3 sources, every condition
+   code. *)
+let arbitrary_wire_instr =
+  let open QCheck.Gen in
+  let gen =
+    let* opcode =
+      oneofl
+        [ Op.Alu; Op.Alu_shift; Op.Mul; Op.Load; Op.Store; Op.Fp_add;
+          Op.Fp_mul ]
+    in
+    let* dst = int_range 0 15 in
+    let* nsrcs = int_range 0 3 in
+    let* srcs = list_repeat nsrcs (int_range 0 15) in
+    let* cond = oneofl [ I.Always; I.Eq; I.Ne; I.Ge; I.Lt; I.Gt; I.Le ] in
+    let mem =
+      if Op.is_memory opcode then
+        Some { I.region = 0; stride = 8; working_set = 128; randomness = 0.0 }
+      else None
+    in
+    return
+      (I.make ~uid:0 ~opcode ~dst:(Reg.r dst) ~srcs:(List.map Reg.r srcs)
+         ~cond ?mem ())
+  in
+  QCheck.make gen
+
+let prop_decode16_inverts_encode16 =
+  QCheck.Test.make ~name:"decode16 inverts encode16" ~count:1000
+    arbitrary_wire_instr (fun i ->
+      match E.encode16 i with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok h -> (
+        match D.decode16 h with
+        | Error msg ->
+          QCheck.Test.fail_reportf "encoded %04x does not decode: %s" h msg
+        | Ok d ->
+          d.D.d_opcode = i.opcode && d.D.d_cond = I.Always
+          && d.D.d_dst = i.dst && d.D.d_srcs = i.srcs && d.D.d_cdp_count = 0))
+
+let prop_decode32_inverts_encode32 =
+  QCheck.Test.make ~name:"decode32 inverts encode32" ~count:1000
+    arbitrary_wire_instr (fun i ->
+      match E.encode32 i with
+      | Error msg -> QCheck.Test.fail_reportf "32-bit encode failed: %s" msg
+      | Ok w -> (
+        match D.decode32 w with
+        | Error msg ->
+          QCheck.Test.fail_reportf "encoded %08x does not decode: %s" w msg
+        | Ok d ->
+          d.D.d_opcode = i.opcode && d.D.d_cond = i.cond && d.D.d_dst = i.dst
+          && d.D.d_srcs = i.srcs))
+
+let prop_decode_bytes_inverts_encode =
+  QCheck.Test.make ~name:"decode_bytes inverts encode" ~count:1000
+    arbitrary_wire_instr (fun i ->
+      match E.encode i with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok bytes -> (
+        String.length bytes = I.size_bytes i
+        &&
+        match D.decode_bytes bytes with
+        | Error _ -> false
+        | Ok d -> d.D.d_opcode = i.opcode && d.D.d_dst = i.dst))
+
+let prop_encoder_is_the_convertibility_predicate =
+  QCheck.Test.make
+    ~name:"Encode.thumb_convertible agrees with the structural predicate"
+    ~count:1000 arbitrary_wire_instr (fun i ->
+      E.thumb_convertible i = I.thumb_convertible i
+      && I.thumb_convertible i = Result.is_ok (E.encode16 i))
+
+let prop_nonconvertible_rejected =
+  QCheck.Test.make ~name:"non-convertible instrs fail the 16-bit encoder"
+    ~count:1000 arbitrary_wire_instr (fun i ->
+      QCheck.assume (not (I.thumb_convertible i));
+      match E.encode16 i with
+      | Error msg -> String.length msg > 0
+      | Ok _ -> false)
+
 let () =
   Alcotest.run "isa"
     [
@@ -179,7 +330,22 @@ let () =
           Alcotest.test_case "regs read/written" `Quick test_regs_read_written;
           Alcotest.test_case "structural key" `Quick test_structural_key;
         ] );
+      ( "encode/decode",
+        [
+          Alcotest.test_case "wire formats" `Quick test_encode_formats;
+          Alcotest.test_case "wire length = size_bytes" `Quick
+            test_encode_bytes_length;
+          Alcotest.test_case "cdp marker roundtrip" `Quick test_cdp_roundtrip;
+          Alcotest.test_case "LUT totality (65536 halfwords)" `Quick
+            test_lut_totality;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_convertible_iff; prop_roundtrip_encoding ] );
+          [
+            prop_convertible_iff; prop_roundtrip_encoding;
+            prop_decode16_inverts_encode16; prop_decode32_inverts_encode32;
+            prop_decode_bytes_inverts_encode;
+            prop_encoder_is_the_convertibility_predicate;
+            prop_nonconvertible_rejected;
+          ] );
     ]
