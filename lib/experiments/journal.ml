@@ -52,21 +52,37 @@ let append path e =
       output_char oc '\n';
       flush oc)
 
-let load path =
-  if not (Sys.file_exists path) then []
+let load_report path =
+  if not (Sys.file_exists path) then ([], 0)
   else begin
     let ic = open_in path in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () ->
-        let rec go acc =
+        let rec go acc skipped =
           match input_line ic with
-          | exception End_of_file -> List.rev acc
-          | line ->
-            go (match of_line line with Some e -> e :: acc | None -> acc)
+          | exception End_of_file -> (List.rev acc, skipped)
+          | line -> (
+            match of_line line with
+            | Some e -> go (e :: acc) skipped
+            | None ->
+              (* Blank lines are editor noise, not data loss; anything
+                 else is a torn append (crash mid-line) or corruption
+                 and must be surfaced, not silently swallowed. *)
+              if String.trim line = "" then go acc skipped
+              else go acc (skipped + 1))
         in
-        go [])
+        go [] 0)
   end
+
+let load path =
+  let entries, skipped = load_report path in
+  if skipped > 0 then
+    Printf.eprintf
+      "[journal] %s: skipped %d unparseable line(s) — most likely a torn \
+       final append from a crash; the named artifacts will be re-run\n%!"
+      path skipped;
+  entries
 
 let completed_ids path =
   List.fold_left

@@ -21,7 +21,13 @@ val append : string -> entry -> unit
 
 val load : string -> entry list
 (** Entries in file order; a missing file is an empty journal, and
-    unparseable lines (truncated tail after a kill) are skipped. *)
+    unparseable lines (truncated tail after a kill) are skipped with a
+    counted warning on stderr — a crash mid-append must degrade
+    [--resume] gracefully, never poison it. *)
+
+val load_report : string -> entry list * int
+(** {!load} without the stderr warning, also returning the number of
+    non-blank unparseable lines that were skipped. *)
 
 val completed_ids : string -> string list
 (** Distinct artifact ids present in the journal, first-seen order. *)

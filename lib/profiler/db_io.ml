@@ -124,9 +124,13 @@ let of_string ?path text =
 
 (* Crash-safe via the shared tmp+rename discipline: a crash mid-write
    leaves the previous database (or nothing) plus a stray .tmp — never
-   a truncated file that a later [load] would half-parse. *)
+   a truncated file that a later [load] would half-parse.  Durable: the
+   profile database is a hand-off artifact (profiled once, applied many
+   times), so the save also pays the fsync discipline — data before
+   rename, parent directory after — and survives power loss, not just
+   process death. *)
 let save db path =
-  Util.Atomic_io.write path (to_string db)
+  Util.Atomic_io.write ~durable:true path (to_string db)
 
 let sweep_tmp dir = Util.Atomic_io.sweep_tmp dir
 

@@ -14,10 +14,12 @@
     [value count] pairs. *)
 
 val save : Critic_db.t -> string -> unit
-(** [save db path] writes the database atomically: the bytes go to
-    [path ^ ".tmp"], which is closed and then renamed over [path], so a
-    crash mid-write never leaves a truncated database behind.  Raises
-    [Sys_error] on I/O failure (removing the temporary). *)
+(** [save db path] writes the database atomically and durably: the
+    bytes go to [path ^ ".tmp"], which is fsynced and then renamed over
+    [path] (with a parent-directory fsync), so neither a crash
+    mid-write nor a power loss right after the call leaves a truncated
+    or empty database behind.  Raises [Sys_error] on I/O failure
+    (removing the temporary). *)
 
 val load : string -> Critic_db.t
 (** [load path] reads a database written by {!save}.  Raises

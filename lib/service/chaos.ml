@@ -1,0 +1,228 @@
+type upload = { up_id : string; up_app : string; up_payload : string }
+
+type case = {
+  case_index : int;
+  case_fault : string;
+  case_crashed : bool;
+  case_acked : int;
+  case_violations : string list;
+}
+
+type report = {
+  rep_ops : int;
+  rep_cases : case list;
+  rep_crashes : int;
+  rep_contained : int;
+  rep_violations : int;
+}
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter
+      (fun name -> rm_rf (Filename.concat path name))
+      (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+
+let fault_of k =
+  match k mod 4 with
+  | 0 -> (Util.Atomic_io.Crash, "crash")
+  | 1 -> (Util.Atomic_io.Torn 7, "torn 7B")
+  | 2 -> (Util.Atomic_io.Fail 3, "enospc 3B")
+  | _ -> (Util.Atomic_io.Torn 1, "torn 1B")
+
+(* Injectors arm only after recovery is done: faults target steady-state
+   ingest, and recovery itself must always run clean (its own
+   crash-safety is proven by the fact that every case's recovery
+   succeeds on every possible crashed state). *)
+let counting_injector () =
+  let armed = ref false in
+  let count = ref 0 in
+  let inject ~op:_ =
+    if !armed then incr count;
+    Util.Atomic_io.Proceed
+  in
+  (inject, armed, count)
+
+let one_shot_injector ~at ~action =
+  let armed = ref false in
+  let count = ref 0 in
+  let fired = ref false in
+  let inject ~op:_ =
+    if not !armed then Util.Atomic_io.Proceed
+    else begin
+      let k = !count in
+      incr count;
+      if k = at && not !fired then begin
+        fired := true;
+        action
+      end
+      else Util.Atomic_io.Proceed
+    end
+  in
+  (inject, armed)
+
+(* Drive the workload.  A contained [Error] (the ENOSPC fault) is
+   retried once — the injector is one-shot, so the retry must succeed.
+   Returns the ids acknowledged, or the partial list if the run
+   crashed. *)
+let drive eng uploads =
+  let acked = ref [] in
+  let crashed = ref false in
+  (try
+     List.iter
+       (fun u ->
+         let once () =
+           Engine.ingest eng ~id:u.up_id ~app:u.up_app ~payload:u.up_payload
+         in
+         match once () with
+         | Ok _ -> acked := u.up_id :: !acked
+         | Error _ -> (
+           match once () with
+           | Ok _ -> acked := u.up_id :: !acked
+           | Error msg ->
+             failwith ("chaos: retry after contained failure failed: " ^ msg)))
+       uploads
+   with Util.Atomic_io.Injected_crash _ -> crashed := true);
+  (List.rev !acked, !crashed)
+
+let check_case ~dir ~cfg ~uploads ~acked ~baseline =
+  let violations = ref [] in
+  let bad fmt = Printf.ksprintf (fun m -> violations := m :: !violations) fmt in
+  (* Recovery must succeed on whatever the fault left behind. *)
+  (match Engine.open_ cfg with
+  | exception Failure msg -> bad "recovery failed: %s" msg
+  | eng, _rec ->
+    (* 1. Acknowledged uploads survive. *)
+    List.iter
+      (fun id ->
+        if not (Engine.mem eng ~id) then bad "acked upload %s lost" id)
+      acked;
+    (* 2. The recovered directory is strictly clean (torn tails were
+       repaired by recovery itself). *)
+    (match Engine.fsck dir with
+    | Error msg -> bad "fsck after recovery: %s" msg
+    | Ok r ->
+      if not (Engine.clean ~strict:true r) then
+        bad "fsck not clean after recovery:\n%s" (Engine.render r));
+    (* 3. Re-submitting the whole workload (duplicates included)
+       converges to the fault-free state, byte for byte. *)
+    let _resubmitted, crashed = drive eng uploads in
+    if crashed then bad "re-submission crashed with no injector armed"
+    else begin
+      let bytes = Engine.snapshot_bytes eng in
+      if bytes <> baseline then bad "final state differs from baseline";
+      let n = Engine.uploads eng in
+      let expect = List.length uploads in
+      if n <> expect then bad "final uploads %d, expected %d" n expect
+    end;
+    Engine.close eng;
+    (* 4. Reopen is a no-op: replay is idempotent. *)
+    (match Engine.open_ cfg with
+    | exception Failure msg -> bad "second recovery failed: %s" msg
+    | eng2, _ ->
+      if Engine.snapshot_bytes eng2 <> Engine.snapshot_bytes eng then
+        bad "state changed across an idle close/reopen";
+      Engine.close eng2));
+  List.rev !violations
+
+let sweep ~dir ?(shards = 2) ?(checkpoint_every = 8) ?max_cases ~uploads () =
+  rm_rf dir;
+  let case_dir i = Filename.concat dir (Printf.sprintf "case-%04d" i) in
+  let cfg d = Engine.config ~shards ~checkpoint_every d in
+  (* Baseline: fault-free run under a counting injector. *)
+  let base_dir = Filename.concat dir "baseline" in
+  let inject, armed, count = counting_injector () in
+  let eng, _ = Engine.open_ ~inject (cfg base_dir) in
+  armed := true;
+  let acked, crashed = drive eng uploads in
+  if crashed then failwith "chaos: baseline run crashed without faults";
+  if List.length acked <> List.length uploads then
+    failwith "chaos: baseline run did not ack every upload";
+  let baseline = Engine.snapshot_bytes eng in
+  Engine.close eng;
+  let total_ops = !count in
+  (* Choose crash points: all of them, or an even sample. *)
+  let points =
+    match max_cases with
+    | Some m when m < total_ops && m > 0 ->
+      List.init m (fun i -> i * total_ops / m)
+    | _ -> List.init total_ops (fun i -> i)
+  in
+  let cases =
+    List.map
+      (fun k ->
+        let action, fault_name = fault_of k in
+        let d = case_dir k in
+        let inject, armed = one_shot_injector ~at:k ~action in
+        let eng, _ = Engine.open_ ~inject (cfg d) in
+        armed := true;
+        let acked, crashed = drive eng uploads in
+        armed := false;
+        (* Simulated process death (or the end of a contained run):
+           close the fds — closing flushes nothing and alters no file
+           contents, it only keeps hundreds of cases from exhausting
+           descriptors. *)
+        Engine.close eng;
+        let violations =
+          check_case ~dir:d ~cfg:(cfg d) ~uploads ~acked ~baseline
+        in
+        (* Passing cases clean up after themselves so a full sweep's
+           disk footprint stays bounded; failures keep their directory
+           for the post-mortem. *)
+        if violations = [] then rm_rf d;
+        {
+          case_index = k;
+          case_fault = fault_name;
+          case_crashed = crashed;
+          case_acked = List.length acked;
+          case_violations = violations;
+        })
+      points
+  in
+  {
+    rep_ops = total_ops;
+    rep_cases = cases;
+    rep_crashes =
+      List.fold_left (fun n c -> n + Bool.to_int c.case_crashed) 0 cases;
+    rep_contained =
+      List.fold_left (fun n c -> n + Bool.to_int (not c.case_crashed)) 0 cases;
+    rep_violations =
+      List.fold_left
+        (fun n c -> n + List.length c.case_violations)
+        0 cases;
+  }
+
+let render r =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "chaos sweep: %d IO operations, %d case(s) (%d crashed, %d \
+        contained)%s\n"
+       r.rep_ops
+       (List.length r.rep_cases)
+       r.rep_crashes r.rep_contained
+       (if List.length r.rep_cases < r.rep_ops then
+          Printf.sprintf " — SAMPLED %d of %d crash points"
+            (List.length r.rep_cases)
+            r.rep_ops
+        else ""));
+  List.iter
+    (fun c ->
+      if c.case_violations <> [] then begin
+        Buffer.add_string b
+          (Printf.sprintf "  FAIL case %d (%s, %d acked):\n" c.case_index
+             c.case_fault c.case_acked);
+        List.iter
+          (fun v -> Buffer.add_string b (Printf.sprintf "    - %s\n" v))
+          c.case_violations
+      end)
+    r.rep_cases;
+  Buffer.add_string b
+    (if r.rep_violations = 0 then
+       "chaos sweep: PASS — every acknowledged upload survived every \
+        crash point\n"
+     else Printf.sprintf "chaos sweep: %d violation(s)\n" r.rep_violations);
+  Buffer.contents b

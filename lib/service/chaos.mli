@@ -1,0 +1,71 @@
+(** Deterministic chaos harness for the ingest engine.
+
+    The harness first runs the full upload workload fault-free under a
+    counting injector, learning (a) how many injectable IO operations
+    the run performs and (b) the byte-exact final aggregate — the
+    {e baseline}.  It then replays the same workload once per crash
+    point [k], arming a one-shot fault at the [k]-th IO operation.  The
+    fault kind cycles with [k] so every seam sees every failure mode:
+
+    - [k mod 4 = 0] — {b crash}: the process dies at the operation
+      (no cleanup code runs; in-flight state is abandoned exactly as
+      [kill -9] leaves it);
+    - [k mod 4 = 1] — {b torn write}: 7 bytes of the operation's
+      payload reach the file, then the process dies;
+    - [k mod 4 = 2] — {b contained failure}: the operation fails with
+      [ENOSPC] after 3 bytes; the service must survive and refuse the
+      acknowledgement;
+    - [k mod 4 = 3] — {b torn write}, 1 byte (tears inside the length
+      frame rather than the body).
+
+    After each fault the harness recovers the directory and asserts the
+    durability contract:
+
+    + every upload acknowledged before the fault is present after
+      recovery;
+    + {!Engine.fsck} reports strictly clean (recovery repaired any torn
+      tail);
+    + re-submitting the {e entire} workload — duplicates and all —
+      converges to a state byte-identical to the baseline;
+    + a further close/reopen changes nothing (replay is idempotent).
+
+    Everything is seed-free and deterministic: same workload, same
+    engine geometry → same operation count, same crash points, same
+    verdicts. *)
+
+type upload = { up_id : string; up_app : string; up_payload : string }
+
+type case = {
+  case_index : int;  (** the crash point [k] *)
+  case_fault : string;  (** human name of the injected fault *)
+  case_crashed : bool;  (** the fault killed the run (vs. contained) *)
+  case_acked : int;  (** uploads acknowledged before the fault *)
+  case_violations : string list;  (** contract violations — empty = pass *)
+}
+
+type report = {
+  rep_ops : int;  (** injectable IO operations in the fault-free run *)
+  rep_cases : case list;
+  rep_crashes : int;
+  rep_contained : int;
+  rep_violations : int;  (** total violations across all cases *)
+}
+
+val sweep :
+  dir:string ->
+  ?shards:int ->
+  ?checkpoint_every:int ->
+  ?max_cases:int ->
+  uploads:upload list ->
+  unit ->
+  report
+(** Run the sweep under [dir] (created; each case gets a fresh
+    subdirectory).  [max_cases] bounds the number of crash points by
+    sampling them evenly across the run — the report still records the
+    full operation count so the dropped coverage is visible.  Defaults:
+    2 shards, checkpoint every 8 records (small so the sweep exercises
+    checkpoint and rotation seams often), all crash points. *)
+
+val render : report -> string
+(** Multi-line summary; one line per failing case, violations spelled
+    out. *)

@@ -1,0 +1,105 @@
+let magic = "CRTCKP01"
+
+type t = { seq : int; ids : (string * int) list; registry : string }
+
+let body_of t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "seq %d\n" t.seq);
+  Buffer.add_string buf (Printf.sprintf "ids %d\n" (List.length t.ids));
+  List.iter
+    (fun (id, seq) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d:%s %d\n" (String.length id) id seq))
+    (List.sort compare t.ids);
+  Buffer.add_string buf
+    (Printf.sprintf "registry %d\n" (String.length t.registry));
+  Buffer.add_string buf t.registry;
+  Buffer.contents buf
+
+let save ?inject path t =
+  let body = body_of t in
+  let framed =
+    Printf.sprintf "%s %s %d\n%s" magic
+      (Digest.to_hex (Digest.string body))
+      (String.length body) body
+  in
+  Util.Atomic_io.write ~durable:true ?inject path framed
+
+exception Bad of string
+
+let load path =
+  if not (Sys.file_exists path) then Ok None
+  else begin
+    try
+      let text = Util.Atomic_io.read_file path in
+      let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt in
+      let nl =
+        match String.index_opt text '\n' with
+        | Some i -> i
+        | None -> fail "missing header line"
+      in
+      let body =
+        match String.split_on_char ' ' (String.sub text 0 nl) with
+        | [ m; digest; len ] -> (
+          match int_of_string_opt len with
+          | Some n when m = magic && String.length text - nl - 1 = n ->
+            let body = String.sub text (nl + 1) n in
+            if Digest.to_hex (Digest.string body) <> digest then
+              fail "body digest mismatch"
+            else body
+          | _ -> fail "bad header frame")
+        | _ -> fail "bad header"
+      in
+      (* Cursor-parse the body: line-oriented header fields, a
+         length-framed id table (ids may contain any byte but
+         newline-free in practice; the frame makes no assumption), then
+         raw registry bytes. *)
+      let pos = ref 0 in
+      let len = String.length body in
+      let line () =
+        match String.index_from_opt body !pos '\n' with
+        | None -> fail "truncated body"
+        | Some i ->
+          let l = String.sub body !pos (i - !pos) in
+          pos := i + 1;
+          l
+      in
+      let int_field name =
+        match String.split_on_char ' ' (line ()) with
+        | [ k; v ] when k = name -> (
+          match int_of_string_opt v with
+          | Some n -> n
+          | None -> fail "bad %s value" name)
+        | _ -> fail "expected %s line" name
+      in
+      let seq = int_field "seq" in
+      let nids = int_field "ids" in
+      let ids =
+        List.init nids (fun _ ->
+            let l = line () in
+            match String.index_opt l ':' with
+            | None -> fail "bad id frame"
+            | Some colon -> (
+              match int_of_string_opt (String.sub l 0 colon) with
+              | Some idlen
+                when idlen >= 0 && colon + 1 + idlen + 1 <= String.length l
+              -> (
+                let id = String.sub l (colon + 1) idlen in
+                let rest =
+                  String.sub l
+                    (colon + 1 + idlen + 1)
+                    (String.length l - colon - idlen - 2)
+                in
+                match int_of_string_opt rest with
+                | Some s -> (id, s)
+                | None -> fail "bad id seq")
+              | _ -> fail "bad id frame length"))
+      in
+      let reg_len = int_field "registry" in
+      if len - !pos <> reg_len then fail "registry length mismatch";
+      let registry = String.sub body !pos reg_len in
+      Ok (Some { seq; ids; registry })
+    with
+    | Bad msg -> Error (Printf.sprintf "%s: %s" path msg)
+    | Sys_error msg -> Error msg
+  end

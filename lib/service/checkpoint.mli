@@ -1,0 +1,31 @@
+(** Compacted shard checkpoints.
+
+    A checkpoint is the digest-verified serialization of a shard's
+    aggregate state — last applied sequence number, the applied
+    upload-id table (what makes re-submitted uploads idempotent across
+    restarts) and the merged telemetry registry — written atomically
+    and durably through {!Util.Atomic_io}.  After a checkpoint at
+    sequence [S] the WAL is rotated; recovery loads the checkpoint and
+    replays only records with [seq > S], so a crash anywhere between
+    the two steps is harmless (stale records are skipped by sequence
+    number: replay is idempotent).
+
+    File layout: one header line
+    ["CRTCKP01 <md5-of-body> <body-length>\n"] followed by the body —
+    the same self-verifying frame discipline as the store. *)
+
+type t = {
+  seq : int;  (** last sequence number folded into this state *)
+  ids : (string * int) list;  (** applied upload id → its sequence *)
+  registry : string;  (** {!Telemetry.Registry.to_bytes} of the aggregate *)
+}
+
+val save : ?inject:Util.Atomic_io.injector -> string -> t -> unit
+(** Atomic, durable write.  Raises [Unix.Unix_error]/[Sys_error] on
+    contained I/O failure (the previous checkpoint survives untouched)
+    and propagates injected crashes. *)
+
+val load : string -> (t option, string) result
+(** [Ok None] when the file does not exist (a young shard);
+    [Error] on a digest, frame or parse violation — corruption of a
+    checkpoint is data loss and must be loud. *)

@@ -1,0 +1,482 @@
+module Registry = Telemetry.Registry
+
+type config = {
+  dir : string;
+  shards : int;
+  checkpoint_every : int;
+  durable : bool;
+}
+
+let config ?(shards = 4) ?(checkpoint_every = 256) ?(durable = true) dir =
+  if shards < 1 then invalid_arg "Engine.config: shards must be >= 1";
+  if checkpoint_every < 1 then
+    invalid_arg "Engine.config: checkpoint_every must be >= 1";
+  { dir; shards; checkpoint_every; durable }
+
+let meta_magic = "CRTSRV01"
+
+type shard = {
+  id : int;
+  shard_dir : string;
+  lock : Mutex.t;
+  mutable wal : Wal.t;
+  mutable applied : int;  (* last applied sequence number *)
+  mutable ckpt_seq : int;  (* sequence covered by the last checkpoint *)
+  mutable since_ckpt : int;
+  ids : (string, int) Hashtbl.t;  (* applied upload id -> seq *)
+  agg : Registry.t;
+}
+
+type t = {
+  cfg : config;
+  shard_arr : shard array;
+  inject : Util.Atomic_io.injector option;
+  run : Registry.t;  (* operational counters, process lifetime *)
+  run_lock : Mutex.t;
+}
+
+type recovery = {
+  rec_replayed : int;
+  rec_skipped : int;
+  rec_truncated_bytes : int;
+  rec_torn_tails : int;
+  rec_uploads : int;
+}
+
+let mkdir_p path =
+  let rec go path =
+    if not (Sys.file_exists path) then begin
+      go (Filename.dirname path);
+      try Unix.mkdir path 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go path;
+  if not (Sys.is_directory path) then
+    raise (Sys_error (path ^ ": not a directory"))
+
+let shard_dirname i = Printf.sprintf "shard-%03d" i
+let wal_path dir = Filename.concat dir "wal.log"
+let ckpt_path dir = Filename.concat dir "ckpt.bin"
+let meta_path dir = Filename.concat dir "META"
+
+(* Stable shard choice: MD5 is deterministic across runs, hosts and
+   OCaml versions, unlike Hashtbl.hash. *)
+let shard_index ~shards app =
+  let d = Digest.string app in
+  let v =
+    (Char.code d.[0] lsl 16) lor (Char.code d.[1] lsl 8) lor Char.code d.[2]
+  in
+  v mod shards
+
+let meta_contents cfg =
+  Printf.sprintf "%s\nshards %d\n" meta_magic cfg.shards
+
+let load_meta path =
+  match Util.Atomic_io.read_file path with
+  | exception Sys_error _ -> Ok None
+  | text -> (
+    match String.split_on_char '\n' text with
+    | [ magic; shards_line; "" ] when magic = meta_magic -> (
+      match String.split_on_char ' ' shards_line with
+      | [ "shards"; n ] -> (
+        match int_of_string_opt n with
+        | Some shards when shards >= 1 -> Ok (Some shards)
+        | _ -> Error (path ^ ": bad shard count"))
+      | _ -> Error (path ^ ": bad META line"))
+    | _ -> Error (path ^ ": bad META magic"))
+
+(* ------------------------------ apply ----------------------------- *)
+
+(* One upload's effect on a shard: merge its registry delta and advance
+   the durable bookkeeping.  Used identically by live ingest and by
+   WAL replay, which is what makes replay reproduce exactly the
+   acknowledged state. *)
+let apply_record shard ~seq ~id payload_reg =
+  Registry.merge_into ~into:shard.agg payload_reg;
+  Registry.incr (Registry.counter shard.agg "service/uploads");
+  Hashtbl.replace shard.ids id seq;
+  shard.applied <- seq;
+  shard.since_ckpt <- shard.since_ckpt + 1
+
+(* --------------------------- recovery ----------------------------- *)
+
+let recover_shard ?inject ~dir ~i () =
+  let sdir = Filename.concat dir (shard_dirname i) in
+  mkdir_p sdir;
+  ignore (Util.Atomic_io.sweep_tmp sdir);
+  let agg = Registry.create () in
+  let ids = Hashtbl.create 256 in
+  let ckpt_seq, replayed, skipped, truncated =
+    let ckpt =
+      match Checkpoint.load (ckpt_path sdir) with
+      | Ok c -> c
+      | Error msg -> failwith ("Engine: corrupt checkpoint: " ^ msg)
+    in
+    let ckpt_seq =
+      match ckpt with
+      | None -> 0
+      | Some c ->
+        (match Registry.of_bytes c.Checkpoint.registry with
+        | Ok reg -> Registry.merge_into ~into:agg reg
+        | Error msg ->
+          failwith ("Engine: corrupt checkpoint registry: " ^ msg));
+        List.iter (fun (id, seq) -> Hashtbl.replace ids id seq) c.ids;
+        c.seq
+    in
+    let scan =
+      match Wal.scan (wal_path sdir) with
+      | Ok s -> s
+      | Error msg -> failwith ("Engine: " ^ msg)
+    in
+    let applied = ref ckpt_seq in
+    let replayed = ref 0 in
+    let skipped = ref 0 in
+    List.iter
+      (fun { Wal.seq; id; payload } ->
+        if seq <= !applied then incr skipped
+        else if seq = !applied + 1 then begin
+          (match Registry.of_bytes payload with
+          | Ok reg ->
+            Registry.merge_into ~into:agg reg;
+            Registry.incr (Registry.counter agg "service/uploads");
+            Hashtbl.replace ids id seq
+          | Error msg ->
+            (* Digest-verified record with an unparseable payload: the
+               writer validated it before appending, so this is wild
+               corruption that happens to re-verify — refuse. *)
+            failwith
+              (Printf.sprintf "Engine: shard %d seq %d: bad payload: %s" i
+                 seq msg));
+          applied := seq;
+          incr replayed
+        end
+        else
+          failwith
+            (Printf.sprintf
+               "Engine: shard %d: sequence gap (%d after %d) — WAL records \
+                lost"
+               i seq !applied))
+      scan.records;
+    if scan.torn_bytes > 0 then
+      Wal.truncate_to (wal_path sdir) scan.good_bytes;
+    (ckpt_seq, (!applied, !replayed), !skipped, scan.torn_bytes)
+  in
+  let applied, replayed = replayed in
+  let wal = Wal.open_writer ?inject (wal_path sdir) in
+  ( {
+      id = i;
+      shard_dir = sdir;
+      lock = Mutex.create ();
+      wal;
+      applied;
+      ckpt_seq;
+      (* Records above the checkpoint still live in the WAL; counting
+         them keeps the next checkpoint on schedule after recovery. *)
+      since_ckpt = applied - ckpt_seq;
+      ids;
+      agg;
+    },
+    (replayed, skipped, truncated) )
+
+let open_ ?inject cfg =
+  mkdir_p cfg.dir;
+  (match load_meta (meta_path cfg.dir) with
+  | Ok None ->
+    Util.Atomic_io.write ~durable:cfg.durable (meta_path cfg.dir)
+      (meta_contents cfg)
+  | Ok (Some shards) ->
+    if shards <> cfg.shards then
+      failwith
+        (Printf.sprintf
+           "Engine: %s was created with %d shards, reopened with %d — \
+            resharding is not supported"
+           cfg.dir shards cfg.shards)
+  | Error msg -> failwith ("Engine: " ^ msg));
+  let replayed = ref 0 in
+  let skipped = ref 0 in
+  let truncated = ref 0 in
+  let torn_tails = ref 0 in
+  let shard_arr =
+    Array.init cfg.shards (fun i ->
+        let shard, (r, s, tb) = recover_shard ?inject ~dir:cfg.dir ~i () in
+        replayed := !replayed + r;
+        skipped := !skipped + s;
+        truncated := !truncated + tb;
+        if tb > 0 then incr torn_tails;
+        shard)
+  in
+  let uploads =
+    Array.fold_left (fun n s -> n + Hashtbl.length s.ids) 0 shard_arr
+  in
+  ( {
+      cfg;
+      shard_arr;
+      inject;
+      run = Registry.create ();
+      run_lock = Mutex.create ();
+    },
+    {
+      rec_replayed = !replayed;
+      rec_skipped = !skipped;
+      rec_truncated_bytes = !truncated;
+      rec_torn_tails = !torn_tails;
+      rec_uploads = uploads;
+    } )
+
+(* ---------------------------- runtime ----------------------------- *)
+
+let count t name =
+  Mutex.lock t.run_lock;
+  Registry.incr (Registry.counter t.run name);
+  Mutex.unlock t.run_lock
+
+let runtime t = t.run
+
+(* --------------------------- checkpoint --------------------------- *)
+
+(* Caller holds the shard lock.  Ordering is the crash-safety argument:
+   (1) the checkpoint covering seq S is installed atomically+durably;
+   (2) the WAL is rotated to empty.  A crash after (1) leaves a stale
+   WAL whose records are all <= S — replay skips them by sequence
+   number.  A crash during (2)'s tmp+rename leaves either log. *)
+let checkpoint_locked t shard =
+  let c =
+    {
+      Checkpoint.seq = shard.applied;
+      ids = Hashtbl.fold (fun id seq acc -> (id, seq) :: acc) shard.ids [];
+      registry = Registry.to_bytes shard.agg;
+    }
+  in
+  Checkpoint.save ?inject:t.inject (ckpt_path shard.shard_dir) c;
+  shard.ckpt_seq <- shard.applied;
+  shard.since_ckpt <- 0;
+  count t "service/checkpoints";
+  Wal.close shard.wal;
+  (try Util.Atomic_io.write ~durable:t.cfg.durable ?inject:t.inject
+         (wal_path shard.shard_dir) Wal.header
+   with Unix.Unix_error _ | Sys_error _ ->
+     (* Contained rotate failure: the old WAL (all records <= ckpt_seq,
+        now stale) stays; replay will skip it.  Keep serving. *)
+     count t "service/rotate_failures");
+  shard.wal <- Wal.open_writer ?inject:t.inject (wal_path shard.shard_dir)
+
+let maybe_checkpoint_locked t shard =
+  if shard.since_ckpt >= t.cfg.checkpoint_every then
+    try checkpoint_locked t shard
+    with Unix.Unix_error _ | Sys_error _ ->
+      (* Checkpoint failure is not data loss — the WAL has everything.
+         Reset the countdown so we retry after another interval rather
+         than on every upload. *)
+      shard.since_ckpt <- 0;
+      count t "service/checkpoint_failures"
+
+(* ----------------------------- ingest ----------------------------- *)
+
+let shard_of t ~app = shard_index ~shards:t.cfg.shards app
+
+type ack = { ack_shard : int; ack_seq : int; ack_duplicate : bool }
+
+let ingest t ~id ~app ~payload =
+  (* Validate before logging: the WAL must only ever contain applicable
+     records, so replay cannot fail on what ingest accepted. *)
+  match Registry.of_bytes payload with
+  | Error msg ->
+    count t "service/rejects";
+    Error ("invalid payload: " ^ msg)
+  | Ok payload_reg -> (
+    let shard = t.shard_arr.(shard_of t ~app) in
+    Mutex.lock shard.lock;
+    match Hashtbl.find_opt shard.ids id with
+    | Some seq ->
+      Mutex.unlock shard.lock;
+      count t "service/duplicates";
+      Ok { ack_shard = shard.id; ack_seq = seq; ack_duplicate = true }
+    | None -> (
+      let seq = shard.applied + 1 in
+      match Wal.append shard.wal ~seq ~id ~payload with
+      | exception (Unix.Unix_error _ as e) ->
+        Mutex.unlock shard.lock;
+        count t "service/rejects";
+        Error ("append failed: " ^ Printexc.to_string e)
+      | exception e ->
+        (* Injected crash: simulated process death — do not release the
+           lock or repair anything; the "process" is gone and recovery
+           owns the state now. *)
+        raise e
+      | () ->
+        (* The record is durable: this is the acknowledgement point.
+           Everything below re-derives from the WAL on recovery. *)
+        apply_record shard ~seq ~id payload_reg;
+        let r = { ack_shard = shard.id; ack_seq = seq; ack_duplicate = false } in
+        maybe_checkpoint_locked t shard;
+        Mutex.unlock shard.lock;
+        count t "service/appends";
+        Ok r))
+
+(* -------------------------- introspection ------------------------- *)
+
+let with_shards t f =
+  Array.iter (fun s -> Mutex.lock s.lock) t.shard_arr;
+  Fun.protect
+    ~finally:(fun () -> Array.iter (fun s -> Mutex.unlock s.lock) t.shard_arr)
+    (fun () -> f t.shard_arr)
+
+let uploads t =
+  with_shards t (fun arr ->
+      Array.fold_left (fun n s -> n + Hashtbl.length s.ids) 0 arr)
+
+let mem t ~id =
+  with_shards t (fun arr ->
+      Array.exists (fun s -> Hashtbl.mem s.ids id) arr)
+
+let snapshot t =
+  let into = Registry.create () in
+  with_shards t (fun arr ->
+      Array.iter (fun s -> Registry.merge_into ~into s.agg) arr);
+  into
+
+let snapshot_bytes t = Registry.to_bytes (snapshot t)
+
+let shard_seqs t =
+  with_shards t (fun arr -> Array.map (fun s -> s.applied) arr)
+
+let checkpoint t =
+  Array.iter
+    (fun s ->
+      Mutex.lock s.lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock s.lock)
+        (fun () ->
+          if s.since_ckpt > 0 || s.ckpt_seq < s.applied then
+            checkpoint_locked t s))
+    t.shard_arr
+
+let close t = Array.iter (fun s -> Wal.close s.wal) t.shard_arr
+
+(* ------------------------------ fsck ------------------------------ *)
+
+type shard_report = {
+  fs_shard : int;
+  fs_ckpt_seq : int;
+  fs_wal_records : int;
+  fs_stale : int;
+  fs_uploads : int;
+  fs_torn_bytes : int;
+  fs_errors : string list;
+}
+
+type report = {
+  shards_checked : int;
+  shard_reports : shard_report list;
+  total_uploads : int;
+  torn_tails : int;
+  corrupt : int;
+}
+
+let fsck_shard ~dir i =
+  let sdir = Filename.concat dir (shard_dirname i) in
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let ids = Hashtbl.create 64 in
+  let ckpt_seq =
+    match Checkpoint.load (ckpt_path sdir) with
+    | Ok None -> -1
+    | Ok (Some c) ->
+      (match Registry.of_bytes c.Checkpoint.registry with
+      | Ok _ -> ()
+      | Error msg -> err "checkpoint registry unparseable: %s" msg);
+      List.iter (fun (id, seq) -> Hashtbl.replace ids id seq) c.ids;
+      c.seq
+    | Error msg ->
+      err "corrupt checkpoint: %s" msg;
+      -1
+  in
+  let wal_records, stale, torn_bytes =
+    match Wal.scan (wal_path sdir) with
+    | Error msg ->
+      err "%s" msg;
+      (0, 0, 0)
+    | Ok scan ->
+      let applied = ref (max ckpt_seq 0) in
+      let stale = ref 0 in
+      List.iter
+        (fun { Wal.seq; id; payload } ->
+          if seq <= !applied then incr stale
+          else begin
+            if seq <> !applied + 1 then
+              err "sequence gap: record %d follows %d" seq !applied;
+            (match Registry.of_bytes payload with
+            | Ok _ -> ()
+            | Error msg -> err "record %d payload unparseable: %s" seq msg);
+            Hashtbl.replace ids id seq;
+            applied := seq
+          end)
+        scan.records;
+        (List.length scan.records, !stale, scan.torn_bytes)
+  in
+  {
+    fs_shard = i;
+    fs_ckpt_seq = ckpt_seq;
+    fs_wal_records = wal_records;
+    fs_stale = stale;
+    fs_uploads = Hashtbl.length ids;
+    fs_torn_bytes = torn_bytes;
+    fs_errors = List.rev !errors;
+  }
+
+let fsck dir =
+  if not (Sys.file_exists dir) then Error (dir ^ ": no such directory")
+  else
+    match load_meta (meta_path dir) with
+    | Error msg -> Error msg
+    | Ok None -> Error (dir ^ ": no META — not a service directory")
+    | Ok (Some shards) ->
+      let shard_reports = List.init shards (fsck_shard ~dir) in
+      Ok
+        {
+          shards_checked = shards;
+          shard_reports;
+          total_uploads =
+            List.fold_left (fun n r -> n + r.fs_uploads) 0 shard_reports;
+          torn_tails =
+            List.fold_left
+              (fun n r -> n + if r.fs_torn_bytes > 0 then 1 else 0)
+              0 shard_reports;
+          corrupt =
+            List.fold_left
+              (fun n r -> n + if r.fs_errors <> [] then 1 else 0)
+              0 shard_reports;
+        }
+
+let clean ?(strict = false) r =
+  r.corrupt = 0 && ((not strict) || r.torn_tails = 0)
+
+let render r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "%d shard(s), %d distinct upload(s)\n" r.shards_checked
+       r.total_uploads);
+  List.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "  shard %03d: ckpt seq %d, wal records %d (%d stale), uploads \
+            %d%s%s\n"
+           s.fs_shard s.fs_ckpt_seq s.fs_wal_records s.fs_stale s.fs_uploads
+           (if s.fs_torn_bytes > 0 then
+              Printf.sprintf ", TORN TAIL %d bytes" s.fs_torn_bytes
+            else "")
+           (match s.fs_errors with
+           | [] -> ""
+           | errs -> ", ERRORS: " ^ String.concat "; " errs)))
+    r.shard_reports;
+  Buffer.add_string b
+    (if clean ~strict:true r then "fsck: clean\n"
+     else if clean r then
+       Printf.sprintf
+         "fsck: clean apart from %d torn tail(s) — unacknowledged bytes \
+          from a crash mid-append; the next recovery repairs them\n"
+         r.torn_tails
+     else Printf.sprintf "fsck: %d shard(s) CORRUPT\n" r.corrupt);
+  Buffer.contents b

@@ -1,0 +1,140 @@
+(** Sharded, crash-recoverable profile-aggregation engine.
+
+    The long-lived successor to the paper's offline Spark aggregation:
+    a population of synthetic users uploads per-app criticality
+    profiles (serialized {!Telemetry.Registry} deltas) and the engine
+    folds them into durable per-shard aggregates through the registry's
+    commutative/associative merge.
+
+    Durability contract, in order:
+
+    - {b An acknowledgement is a promise.}  [ingest] returns [Ok] only
+      after the upload's WAL record is written and fsynced.  Whatever
+      happens next — crash mid-checkpoint, torn write, [kill -9] —
+      recovery reconstructs a state containing that upload.
+    - {b Replay is idempotent.}  Records are sequence-numbered; recovery
+      loads the last checkpoint (sequence [S]) and applies only records
+      with [seq > S], each exactly once.  Re-running recovery is a
+      no-op.
+    - {b Re-submission is idempotent.}  Every upload carries a client
+      id; a duplicate is acknowledged without being re-applied (the
+      applied-id table is part of the checkpoint and the WAL records,
+      so it survives recovery).  A client that crashed mid-upload can
+      always just send again.
+    - {b Torn tails are repaired, corruption is loud.}  A torn final
+      WAL record (crash mid-append — by the ack contract, never
+      acknowledged) is truncated at recovery and counted.  A corrupt
+      checkpoint or a sequence gap is data loss: [open_] raises and
+      {!fsck} reports it.
+
+    Shards are independent (own WAL, checkpoint, mutex, aggregate);
+    uploads hash to shards by app, so concurrent ingest from a domain
+    pool contends only within an app's shard. *)
+
+type config = {
+  dir : string;
+  shards : int;
+  checkpoint_every : int;
+      (** WAL records a shard accumulates before compacting into a
+          checkpoint and rotating the log *)
+  durable : bool;
+      (** [false] skips fsyncs (throughput mode for benchmarks on
+          filesystems where fsync is the bottleneck); the crash
+          contract then only covers process death, not power loss *)
+}
+
+val config :
+  ?shards:int -> ?checkpoint_every:int -> ?durable:bool -> string -> config
+(** Defaults: 4 shards, checkpoint every 256 records, durable. *)
+
+type t
+
+type recovery = {
+  rec_replayed : int;  (** WAL records applied over checkpoints *)
+  rec_skipped : int;  (** stale records ([seq <=] checkpoint) skipped *)
+  rec_truncated_bytes : int;  (** torn-tail bytes repaired away *)
+  rec_torn_tails : int;  (** shards that had a torn tail *)
+  rec_uploads : int;  (** distinct uploads in the recovered state *)
+}
+
+val open_ : ?inject:Util.Atomic_io.injector -> config -> t * recovery
+(** Open (creating or recovering) the engine rooted at [config.dir].
+    Raises [Failure] on unrecoverable states: corrupt checkpoint,
+    sequence gap, shard-count mismatch with the on-disk META.
+    [inject] arms the chaos fault seam on every subsequent IO
+    (tests only). *)
+
+type ack = { ack_shard : int; ack_seq : int; ack_duplicate : bool }
+
+val ingest : t -> id:string -> app:string -> payload:string -> (ack, string) result
+(** Durably ingest one upload.  [Error] — invalid payload (not a
+    registry wire form), or a contained I/O failure like ENOSPC — means
+    {e not acknowledged, not applied}; the caller may retry with the
+    same [id].  Thread-safe; callers on a domain pool contend per
+    shard.  Under chaos, {!Util.Atomic_io.Injected_crash} escapes —
+    that upload's fate is decided by recovery. *)
+
+val uploads : t -> int
+(** Distinct uploads applied, over all shards (survives recovery). *)
+
+val mem : t -> id:string -> bool
+(** Has this upload id been applied? *)
+
+val snapshot : t -> Telemetry.Registry.t
+(** Fresh merge of every shard's aggregate (the shards keep their own
+    registries; the caller owns the result). *)
+
+val snapshot_bytes : t -> string
+(** [Telemetry.Registry.to_bytes] of {!snapshot} — a deterministic
+    state fingerprint: byte-equal iff the aggregates are equal. *)
+
+val shard_seqs : t -> int array
+val shard_of : t -> app:string -> int
+
+val checkpoint : t -> unit
+(** Force-checkpoint every shard (normally they self-checkpoint every
+    [checkpoint_every] records). *)
+
+val runtime : t -> Telemetry.Registry.t
+(** Process-lifetime operational counters (not durable):
+    [service/appends], [service/duplicates], [service/rejects],
+    [service/checkpoints], [service/checkpoint_failures],
+    [service/rotate_failures]. *)
+
+val close : t -> unit
+(** Close every shard's WAL fd.  No flush is needed — acknowledged
+    state is already durable; that is the whole point. *)
+
+(** {2 fsck} *)
+
+type shard_report = {
+  fs_shard : int;
+  fs_ckpt_seq : int;  (** -1 = no checkpoint *)
+  fs_wal_records : int;
+  fs_stale : int;  (** records at or below the checkpoint sequence *)
+  fs_uploads : int;  (** distinct uploads visible in this shard *)
+  fs_torn_bytes : int;
+  fs_errors : string list;
+}
+
+type report = {
+  shards_checked : int;
+  shard_reports : shard_report list;
+  total_uploads : int;
+  torn_tails : int;
+  corrupt : int;  (** shards with a hard error *)
+}
+
+val fsck : string -> (report, string) result
+(** Read-only integrity walk of a service directory: META, every
+    shard's checkpoint (digest, parse), every WAL record (frame +
+    digest), sequence continuity, id-table/registry parseability.
+    Never modifies anything; safe on a live or crashed directory. *)
+
+val clean : ?strict:bool -> report -> bool
+(** No corruption and no sequence gaps.  [strict] (default [false])
+    additionally rejects torn tails — right after a recovery there must
+    be none; right after a [kill -9] one is expected and will be
+    repaired by the next [open_]. *)
+
+val render : report -> string

@@ -25,6 +25,8 @@ type t = {
   mutable misses : int;
   mutable writes : int;
   mutable corrupt : int;
+  quarantine_limit : int;
+  inject : Util.Atomic_io.injector option;
 }
 
 let mkdir_p path =
@@ -39,7 +41,9 @@ let mkdir_p path =
   if not (Sys.is_directory path) then
     raise (Sys_error (path ^ ": not a directory"))
 
-let open_dir dir =
+let default_quarantine_limit = 32
+
+let open_dir ?(quarantine_limit = default_quarantine_limit) ?inject dir =
   mkdir_p dir;
   ignore (Util.Atomic_io.sweep_tmp dir);
   Array.iter
@@ -47,7 +51,15 @@ let open_dir dir =
       let sub = Filename.concat dir name in
       if Sys.is_directory sub then ignore (Util.Atomic_io.sweep_tmp sub))
     (Sys.readdir dir);
-  { dir; hits = 0; misses = 0; writes = 0; corrupt = 0 }
+  {
+    dir;
+    hits = 0;
+    misses = 0;
+    writes = 0;
+    corrupt = 0;
+    quarantine_limit;
+    inject;
+  }
 
 let open_default () =
   match Sys.getenv_opt "CRITICS_CACHE_DIR" with
@@ -102,6 +114,48 @@ let decode k text =
       | _ -> None)
     | _ -> None)
 
+(* Corrupt entries are evidence, not garbage: chaos- or crash-found
+   corruption is moved aside into [<dir>/corrupt/] (bounded; oldest
+   evicted) so it can be post-mortemed, instead of being deleted on
+   sight.  The counters are untouched by the move — a corrupt entry is
+   still one [corrupt] plus one [miss], exactly as before. *)
+let quarantine_dirname = "corrupt"
+
+let quarantine_dir t = Filename.concat t.dir quarantine_dirname
+
+let quarantined t =
+  let dir = quarantine_dir t in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+    Array.sort compare names;
+    Array.to_list (Array.map (Filename.concat dir) names)
+
+let quarantine t k =
+  let dir = quarantine_dir t in
+  try
+    mkdir_p dir;
+    Sys.rename (path_of t k) (Filename.concat dir (k.kind ^ "." ^ k.digest));
+    (* Bound the morgue: evict oldest-first (mtime, then name) past the
+       limit so a corruption storm cannot fill the disk. *)
+    let entries =
+      List.filter_map
+        (fun path ->
+          match Unix.stat path with
+          | { Unix.st_mtime; _ } -> Some (st_mtime, path)
+          | exception Unix.Unix_error _ -> None)
+        (quarantined t)
+    in
+    let excess = List.length entries - t.quarantine_limit in
+    if excess > 0 then
+      List.sort compare entries
+      |> List.filteri (fun i _ -> i < excess)
+      |> List.iter (fun (_, path) ->
+             try Sys.remove path with Sys_error _ -> ())
+  with Sys_error _ | Unix.Unix_error _ ->
+    (* Quarantine is best-effort; never let it mask the miss. *)
+    (try Sys.remove (path_of t k) with Sys_error _ -> ())
+
 let find t k =
   let path = path_of t k in
   match Util.Atomic_io.read_file path with
@@ -114,17 +168,22 @@ let find t k =
       t.hits <- t.hits + 1;
       Some payload
     | None ->
-      (* Truncation, corruption or collision: drop the entry and fall
-         back to recompute — never a crash, never a wrong payload. *)
+      (* Truncation, corruption or collision: quarantine the entry and
+         fall back to recompute — never a crash, never a wrong
+         payload. *)
       t.corrupt <- t.corrupt + 1;
       t.misses <- t.misses + 1;
-      (try Sys.remove path with Sys_error _ -> ());
+      quarantine t k;
       None)
 
 let add t k payload =
   try
     mkdir_p (Filename.concat t.dir k.kind);
-    Util.Atomic_io.write (path_of t k) (encode k payload);
+    (* Durable: an installed entry that evaporates on power loss is
+       harmless (a future miss), but a *named, empty* entry is a
+       guaranteed corrupt-count on every later run — pay the fsync. *)
+    Util.Atomic_io.write ~durable:true ?inject:t.inject (path_of t k)
+      (encode k payload);
     t.writes <- t.writes + 1
   with Sys_error _ | Unix.Unix_error _ -> ()
 
@@ -162,7 +221,13 @@ let add_blob t k produce =
   try
     mkdir_p (Filename.concat t.dir k.kind);
     produce tmp;
+    (* Same durability contract as [add]: fsync the produced blob
+       before the rename and the directory after it. *)
+    let fd = Unix.openfile tmp [ Unix.O_RDONLY ] 0 in
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ());
     Unix.rename tmp path;
+    Util.Atomic_io.fsync_dir (Filename.dirname path);
     t.writes <- t.writes + 1;
     true
   with Sys_error _ | Unix.Unix_error _ ->
@@ -171,7 +236,7 @@ let add_blob t k produce =
 
 let remove_blob t k =
   t.corrupt <- t.corrupt + 1;
-  try Sys.remove (path_of t k) with Sys_error _ -> ()
+  quarantine t k
 
 type stats = { hits : int; misses : int; writes : int; corrupt : int }
 
@@ -185,7 +250,10 @@ let fold_entries t f init =
     Array.fold_left
       (fun acc kind ->
         let sub = Filename.concat t.dir kind in
-        if not (Sys.is_directory sub) then acc
+        (* The quarantine morgue is not part of the cache: its blobs
+           are already-dead evidence and must not count as entries,
+           bytes, or [clear] victims. *)
+        if kind = quarantine_dirname || not (Sys.is_directory sub) then acc
         else
           Array.fold_left
             (fun acc name -> f acc (Filename.concat sub name))

@@ -40,10 +40,14 @@ val code_version : unit -> string
     key so rebuilt code never reuses stale artifacts (conservative:
     any new commit invalidates). *)
 
-val open_dir : string -> t
+val open_dir :
+  ?quarantine_limit:int -> ?inject:Util.Atomic_io.injector -> string -> t
 (** Open (creating if needed) a store rooted at the directory.  Sweeps
     stale [*.tmp] files.  Raises [Sys_error] if the directory cannot be
-    created. *)
+    created.  [quarantine_limit] (default 32) bounds the
+    [<dir>/corrupt/] morgue corrupt entries are moved into.  [inject]
+    arms the {!Util.Atomic_io} chaos fault seam on [add]'s installs
+    (tests only). *)
 
 val open_default : unit -> t option
 (** [Some (open_dir dir)] when [CRITICS_CACHE_DIR] is set to a
@@ -67,13 +71,15 @@ val key_digest : key -> string
 
 val find : t -> key -> string option
 (** The stored payload, or [None] on miss.  Corrupt or mismatched
-    entries are removed, counted, and reported as misses — the caller
-    recomputes and may [add] again. *)
+    entries are quarantined into [<dir>/corrupt/] (bounded,
+    oldest-evicted — see {!quarantined}), counted, and reported as
+    misses — the caller recomputes and may [add] again. *)
 
 val add : t -> key -> string -> unit
-(** Store a payload under the key (atomically; last writer wins).
-    I/O failures are swallowed: a read-only or full cache directory
-    degrades to recompute-every-time, never to a crash. *)
+(** Store a payload under the key (atomically and durably: the entry is
+    fsynced before the rename and the directory after; last writer
+    wins).  I/O failures are swallowed: a read-only or full cache
+    directory degrades to recompute-every-time, never to a crash. *)
 
 (** {2 Raw blobs}
 
@@ -96,9 +102,21 @@ val add_blob : t -> key -> (string -> unit) -> bool
     installation failed; like {!add}, failures never escape. *)
 
 val remove_blob : t -> key -> unit
-(** Drop a blob the caller found corrupt; counted under [corrupt]. *)
+(** Quarantine a blob the caller found corrupt; counted under
+    [corrupt]. *)
 
 (** {2 Introspection} *)
+
+val quarantine_dir : t -> string
+(** [<dir>/corrupt/], where corrupt entries and blobs are moved so
+    chaos- or crash-found corruption stays post-mortem-able.  Bounded
+    by the open-time [quarantine_limit]: past it the oldest (mtime,
+    then name) quarantined file is evicted.  Quarantined files are not
+    cache entries — {!entry_count}, {!total_bytes} and {!clear} ignore
+    them. *)
+
+val quarantined : t -> string list
+(** Paths of the currently quarantined files, sorted by name. *)
 
 type stats = { hits : int; misses : int; writes : int; corrupt : int }
 

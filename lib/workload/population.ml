@@ -1,0 +1,97 @@
+module Registry = Telemetry.Registry
+
+(* Small splitmix-style PRNG over OCaml's 63-bit ints: enough state
+   churn to decorrelate users, fully deterministic, no dependency on
+   [Random]'s global state. *)
+(* The multiplicative constants are the splitmix64 ones truncated to
+   OCaml's 63-bit native int. *)
+let mix state =
+  let z = (state + 0x1E3779B97F4A7C15) land max_int in
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 land max_int in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB land max_int in
+  (z, z lxor (z lsr 31))
+
+type rng = { mutable state : int }
+
+let rng_create seed = { state = seed land max_int }
+
+let next r =
+  let state, v = mix r.state in
+  r.state <- state;
+  v
+
+(* Uniform float in [0, 1). *)
+let unit_float r = float_of_int (next r land 0xFFFFFFFF) /. 4294967296.0
+
+(* Scale factor in [0.75, 1.25). *)
+let factor r = 0.75 +. (unit_float r /. 2.0)
+
+let jitter p ~user =
+  let r = rng_create ((p.Profile.seed * 0x10001) lxor (user * 0x9E37)) in
+  let scale_int v = max 1 (int_of_float (float_of_int v *. factor r)) in
+  let nudge_prob v = Float.min 1.0 (Float.max 0.0 (v *. factor r)) in
+  {
+    p with
+    Profile.seed = (p.Profile.seed lxor (user * 2654435761)) land max_int;
+    loop_iterations = scale_int p.Profile.loop_iterations;
+    regions = scale_int p.Profile.regions;
+    load_stride = scale_int p.Profile.load_stride;
+    load_working_set = scale_int p.Profile.load_working_set;
+    functions = scale_int p.Profile.functions;
+    dispatcher_slots = scale_int p.Profile.dispatcher_slots;
+    call_prob = nudge_prob p.Profile.call_prob;
+    branch_prob = nudge_prob p.Profile.branch_prob;
+    loop_prob = nudge_prob p.Profile.loop_prob;
+    load_frac = nudge_prob p.Profile.load_frac;
+    store_frac = nudge_prob p.Profile.store_frac;
+    fp_frac = nudge_prob p.Profile.fp_frac;
+    load_randomness = nudge_prob p.Profile.load_randomness;
+  }
+
+type upload = { id : string; app : string; payload : string }
+
+let sample_range r (lo, hi) = lo + (next r mod max 1 (hi - lo + 1))
+
+let upload p ~user =
+  let j = jitter p ~user in
+  let r = rng_create (j.Profile.seed lxor 0x5EED) in
+  let reg = Registry.create () in
+  Registry.incr (Registry.counter reg "population/uploads");
+  (* Approximate stream volume this user's session generated. *)
+  let instrs =
+    j.Profile.functions
+    * ((fst j.Profile.body_instrs + snd j.Profile.body_instrs) / 2)
+    * j.Profile.loop_iterations
+  in
+  Registry.add (Registry.counter reg "population/instructions") instrs;
+  Registry.add
+    (Registry.counter reg ("population/suite/" ^ Profile.suite_name j.suite))
+    1;
+  Registry.set_max
+    (Registry.gauge reg "population/max_working_set")
+    j.Profile.load_working_set;
+  (* Per-session distributions a device-side profiler would report:
+     chain shape and dispatch latency, sampled from the jittered
+     calibration. *)
+  let chain = Registry.histogram reg "population/chain_length" in
+  let fanout = Registry.histogram reg "population/fanout" in
+  let latency = Registry.histogram reg "population/session_us" in
+  for _ = 1 to 24 do
+    let spine = sample_range r j.Profile.spine_len in
+    let gaps = sample_range r j.Profile.chain_gap in
+    Registry.observe chain (spine + (gaps * max 1 (spine - 1)));
+    Registry.observe fanout (sample_range r j.Profile.fanout);
+    Registry.observe latency
+      (100 + (next r mod (100 * j.Profile.loop_iterations)))
+  done;
+  {
+    id = Printf.sprintf "%s/u%04d" p.Profile.name user;
+    app = p.Profile.name;
+    payload = Registry.to_bytes reg;
+  }
+
+let generate ?apps ~users_per_app () =
+  let apps = match apps with Some l -> l | None -> Apps.all in
+  List.concat_map
+    (fun p -> List.init users_per_app (fun user -> upload p ~user))
+    apps

@@ -1,0 +1,34 @@
+(** Synthetic upload population for the ingest service.
+
+    The paper's pipeline profiles each app once; a fleet-scale service
+    instead receives thousands of per-user uploads whose statistics
+    jitter around each app's Table II calibration — different users
+    exercise different activities, code paths and working sets.  This
+    module derives that population deterministically from the 26 shipped
+    profiles: [jitter] perturbs a profile's scalar parameters with a
+    per-user seeded PRNG (clamped so {!Profile.validate} always holds),
+    and [upload] turns the jittered profile into one service upload — a
+    serialized {!Telemetry.Registry} delta of [population/*] counters
+    and histograms, tagged with a stable client id.
+
+    Everything is a pure function of [(profile.seed, user)]: the same
+    population can be regenerated for replay, chaos sweeps and
+    benchmarks, and two uploads with the same id carry byte-identical
+    payloads (which is what makes re-submission after a crashed ack
+    safe to test against). *)
+
+val jitter : Profile.t -> user:int -> Profile.t
+(** Per-user variation of [profile]: scalar code-shape and memory
+    parameters scaled by a deterministic factor in roughly [0.75, 1.25],
+    probabilities nudged and clamped to [0, 1].  The result always
+    passes {!Profile.validate}. *)
+
+type upload = { id : string; app : string; payload : string }
+(** [id] is ["<app>/u<user>"]; [payload] is
+    {!Telemetry.Registry.to_bytes} of the user's metric delta. *)
+
+val upload : Profile.t -> user:int -> upload
+
+val generate : ?apps:Profile.t list -> users_per_app:int -> unit -> upload list
+(** The cross product: [users_per_app] uploads for each app (default
+    {!Apps.all}, i.e. all 26 profiles), in app-major order. *)

@@ -1,0 +1,426 @@
+(* Crash-recoverable ingest service: WAL framing and torn-tail repair,
+   checkpoint round-trips, recovery/idempotence, and the deterministic
+   chaos sweep — an injected abort at every IO index of WAL append,
+   checkpoint install and store put, each proving recover-to-last-
+   acknowledged with no torn visible state. *)
+
+module Registry = Telemetry.Registry
+
+let fresh_dir () =
+  let path = Filename.temp_file "critics-service" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+
+let with_dir f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let app name = Option.get (Workload.Apps.find name)
+
+let payload_of_counter name v =
+  let reg = Registry.create () in
+  Registry.add (Registry.counter reg name) v;
+  Registry.to_bytes reg
+
+(* ------------------------------------------------------------------ *)
+(* WAL                                                                *)
+
+let scan_exn path =
+  match Service.Wal.scan path with
+  | Ok s -> s
+  | Error msg -> Alcotest.fail msg
+
+let test_wal_roundtrip () =
+  with_dir @@ fun dir ->
+  let path = Filename.concat dir "wal.log" in
+  let w = Service.Wal.open_writer path in
+  Service.Wal.append w ~seq:1 ~id:"a" ~payload:"alpha";
+  Service.Wal.append w ~seq:2 ~id:"b" ~payload:"";
+  Service.Wal.append w ~seq:3 ~id:"" ~payload:"gamma";
+  Service.Wal.close w;
+  let s = scan_exn path in
+  Alcotest.(check int) "no torn bytes" 0 s.torn_bytes;
+  Alcotest.(check (list (triple int string string)))
+    "records round-trip"
+    [ (1, "a", "alpha"); (2, "b", ""); (3, "", "gamma") ]
+    (List.map
+       (fun r -> Service.Wal.(r.seq, r.id, r.payload))
+       s.records)
+
+let test_wal_torn_tail () =
+  with_dir @@ fun dir ->
+  let path = Filename.concat dir "wal.log" in
+  let w = Service.Wal.open_writer path in
+  Service.Wal.append w ~seq:1 ~id:"a" ~payload:"alpha";
+  Service.Wal.close w;
+  let whole = (Unix.stat path).Unix.st_size in
+  (* Tear: half of a second record's bytes reach the disk. *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc "\255\255\255";
+  close_out oc;
+  let s = scan_exn path in
+  Alcotest.(check int) "good record kept" 1 (List.length s.records);
+  Alcotest.(check int) "tear measured" 3 s.torn_bytes;
+  Alcotest.(check int) "good_bytes at record boundary" whole s.good_bytes;
+  Service.Wal.truncate_to path s.good_bytes;
+  let s = scan_exn path in
+  Alcotest.(check int) "repaired" 0 s.torn_bytes;
+  Alcotest.(check int) "record survives repair" 1 (List.length s.records)
+
+let test_wal_corrupt_record_stops_scan () =
+  with_dir @@ fun dir ->
+  let path = Filename.concat dir "wal.log" in
+  let w = Service.Wal.open_writer path in
+  Service.Wal.append w ~seq:1 ~id:"a" ~payload:"alpha";
+  let first_end = (Unix.stat path).Unix.st_size in
+  Service.Wal.append w ~seq:2 ~id:"b" ~payload:"beta";
+  Service.Wal.close w;
+  (* Flip one payload byte of record 1: its digest no longer verifies,
+     so the scan must stop there — record 2, though intact, is
+     unreachable garbage behind a bad frame. *)
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  ignore (Unix.lseek fd (first_end - 1) Unix.SEEK_SET);
+  ignore (Unix.write_substring fd "X" 0 1);
+  Unix.close fd;
+  let s = scan_exn path in
+  Alcotest.(check int) "scan stops at corruption" 0 (List.length s.records);
+  Alcotest.(check bool) "corruption counted as torn" true (s.torn_bytes > 0)
+
+let test_wal_bad_magic () =
+  with_dir @@ fun dir ->
+  let path = Filename.concat dir "wal.log" in
+  Util.Atomic_io.write path "NOTAWAL0";
+  match Service.Wal.scan path with
+  | Ok _ -> Alcotest.fail "bad magic accepted"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint                                                         *)
+
+let test_checkpoint_roundtrip () =
+  with_dir @@ fun dir ->
+  let path = Filename.concat dir "ckpt.bin" in
+  let reg = Registry.create () in
+  Registry.add (Registry.counter reg "population/uploads") 7;
+  Registry.observe (Registry.histogram reg "population/fanout") 12;
+  let c =
+    {
+      Service.Checkpoint.seq = 42;
+      ids = [ ("maps/u0001", 42); ("email/u0002", 41) ];
+      registry = Registry.to_bytes reg;
+    }
+  in
+  Service.Checkpoint.save path c;
+  match Service.Checkpoint.load path with
+  | Error msg -> Alcotest.fail msg
+  | Ok None -> Alcotest.fail "checkpoint vanished"
+  | Ok (Some c') ->
+    Alcotest.(check int) "seq" 42 c'.Service.Checkpoint.seq;
+    Alcotest.(check (list (pair string int)))
+      "ids (sorted)"
+      [ ("email/u0002", 41); ("maps/u0001", 42) ]
+      c'.ids;
+    Alcotest.(check string) "registry bytes" c.registry c'.registry
+
+let test_checkpoint_corruption_is_loud () =
+  with_dir @@ fun dir ->
+  let path = Filename.concat dir "ckpt.bin" in
+  Service.Checkpoint.save path
+    { Service.Checkpoint.seq = 1; ids = [ ("x", 1) ]; registry = "" };
+  let text = Util.Atomic_io.read_file path in
+  let flipped = Bytes.of_string text in
+  Bytes.set flipped (Bytes.length flipped - 1) '\255';
+  Util.Atomic_io.write path (Bytes.to_string flipped);
+  (match Service.Checkpoint.load path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "flipped byte accepted");
+  Alcotest.(check bool)
+    "missing file is Ok None" true
+    (Service.Checkpoint.load (Filename.concat dir "nope") = Ok None)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                             *)
+
+let ingest_exn eng ~id ~app ~payload =
+  match Service.Engine.ingest eng ~id ~app ~payload with
+  | Ok ack -> ack
+  | Error msg -> Alcotest.fail msg
+
+let test_engine_ingest_and_recover () =
+  with_dir @@ fun dir ->
+  let cfg = Service.Engine.config ~shards:2 ~checkpoint_every:3 dir in
+  let eng, r0 = Service.Engine.open_ cfg in
+  Alcotest.(check int) "fresh: nothing replayed" 0 r0.rec_replayed;
+  for i = 1 to 10 do
+    let ack =
+      ingest_exn eng
+        ~id:(Printf.sprintf "maps/u%04d" i)
+        ~app:"maps"
+        ~payload:(payload_of_counter "population/uploads" 1)
+    in
+    Alcotest.(check bool) "not a duplicate" false ack.ack_duplicate
+  done;
+  let bytes = Service.Engine.snapshot_bytes eng in
+  Alcotest.(check int) "10 uploads" 10 (Service.Engine.uploads eng);
+  Service.Engine.close eng;
+  let eng2, r = Service.Engine.open_ cfg in
+  Alcotest.(check int) "uploads survive" 10 r.rec_uploads;
+  Alcotest.(check string)
+    "state survives byte-for-byte" bytes
+    (Service.Engine.snapshot_bytes eng2);
+  Alcotest.(check bool)
+    "mem finds an acked id" true
+    (Service.Engine.mem eng2 ~id:"maps/u0007");
+  let snap = Service.Engine.snapshot eng2 in
+  Alcotest.(check int)
+    "merge folded every delta" 10
+    (Registry.counter_value (Registry.counter snap "population/uploads"));
+  Service.Engine.close eng2
+
+let test_engine_duplicate_acked_once () =
+  with_dir @@ fun dir ->
+  let cfg = Service.Engine.config ~shards:1 dir in
+  let eng, _ = Service.Engine.open_ cfg in
+  let payload = payload_of_counter "population/uploads" 1 in
+  let a1 = ingest_exn eng ~id:"maps/u0001" ~app:"maps" ~payload in
+  let a2 = ingest_exn eng ~id:"maps/u0001" ~app:"maps" ~payload in
+  Alcotest.(check bool) "second is a duplicate" true a2.ack_duplicate;
+  Alcotest.(check int) "same sequence" a1.ack_seq a2.ack_seq;
+  Alcotest.(check int) "applied once" 1 (Service.Engine.uploads eng);
+  Service.Engine.close eng;
+  (* Dedup must survive a restart: the id table is durable state. *)
+  let eng2, _ = Service.Engine.open_ cfg in
+  let a3 = ingest_exn eng2 ~id:"maps/u0001" ~app:"maps" ~payload in
+  Alcotest.(check bool) "duplicate across restart" true a3.ack_duplicate;
+  Alcotest.(check int) "still applied once" 1 (Service.Engine.uploads eng2);
+  Service.Engine.close eng2
+
+let test_engine_rejects_garbage_payload () =
+  with_dir @@ fun dir ->
+  let eng, _ = Service.Engine.open_ (Service.Engine.config dir) in
+  (match Service.Engine.ingest eng ~id:"x" ~app:"maps" ~payload:"not a registry" with
+  | Ok _ -> Alcotest.fail "garbage acked"
+  | Error _ -> ());
+  Alcotest.(check int) "nothing applied" 0 (Service.Engine.uploads eng);
+  Service.Engine.close eng
+
+let test_engine_checkpoint_compacts_wal () =
+  with_dir @@ fun dir ->
+  let cfg = Service.Engine.config ~shards:1 ~checkpoint_every:1000 dir in
+  let eng, _ = Service.Engine.open_ cfg in
+  for i = 1 to 8 do
+    ignore
+      (ingest_exn eng
+         ~id:(Printf.sprintf "maps/u%04d" i)
+         ~app:"maps"
+         ~payload:(payload_of_counter "population/uploads" 1))
+  done;
+  Service.Engine.checkpoint eng;
+  Service.Engine.close eng;
+  (* All eight records live in the checkpoint now; the WAL is empty, so
+     recovery replays nothing yet reconstructs everything. *)
+  let eng2, r = Service.Engine.open_ cfg in
+  Alcotest.(check int) "nothing to replay" 0 r.rec_replayed;
+  Alcotest.(check int) "everything recovered" 8 r.rec_uploads;
+  Service.Engine.close eng2;
+  match Service.Engine.fsck dir with
+  | Error msg -> Alcotest.fail msg
+  | Ok rep ->
+    Alcotest.(check bool) "fsck strictly clean" true
+      (Service.Engine.clean ~strict:true rep);
+    Alcotest.(check int) "fsck sees the uploads" 8 rep.total_uploads
+
+let test_engine_shard_mismatch_is_loud () =
+  with_dir @@ fun dir ->
+  let eng, _ = Service.Engine.open_ (Service.Engine.config ~shards:2 dir) in
+  Service.Engine.close eng;
+  match Service.Engine.open_ (Service.Engine.config ~shards:3 dir) with
+  | exception Failure _ -> ()
+  | eng, _ ->
+    Service.Engine.close eng;
+    Alcotest.fail "resharding silently accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Population                                                         *)
+
+let test_population_deterministic () =
+  let p = app "maps" in
+  let u1 = Workload.Population.upload p ~user:3 in
+  let u2 = Workload.Population.upload p ~user:3 in
+  Alcotest.(check string) "same user, same payload" u1.payload u2.payload;
+  Alcotest.(check string) "stable id" "Maps/u0003" u1.id;
+  let u3 = Workload.Population.upload p ~user:4 in
+  Alcotest.(check bool)
+    "different users differ" true
+    (u1.payload <> u3.payload);
+  (match Registry.of_bytes u1.payload with
+  | Error msg -> Alcotest.fail ("payload not a registry: " ^ msg)
+  | Ok _ -> ());
+  (* Jitter must always stay inside Profile.validate's envelope. *)
+  for user = 0 to 99 do
+    Workload.Profile.validate (Workload.Population.jitter p ~user)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Chaos: abort at every IO index                                     *)
+
+let small_uploads () =
+  List.map
+    (fun (u : Workload.Population.upload) ->
+      { Service.Chaos.up_id = u.id; up_app = u.app; up_payload = u.payload })
+    (Workload.Population.generate
+       ~apps:[ app "maps"; app "email" ]
+       ~users_per_app:3 ())
+
+let test_chaos_sweep_full () =
+  with_dir @@ fun dir ->
+  let rep =
+    Service.Chaos.sweep
+      ~dir:(Filename.concat dir "chaos")
+      ~shards:2 ~checkpoint_every:2 ~uploads:(small_uploads ()) ()
+  in
+  Alcotest.(check int)
+    "every crash point exercised" rep.rep_ops
+    (List.length rep.rep_cases);
+  Alcotest.(check bool) "sweep hit real crashes" true (rep.rep_crashes > 0);
+  Alcotest.(check bool)
+    "sweep hit contained failures" true
+    (rep.rep_contained > 0);
+  if rep.rep_violations <> 0 then Alcotest.fail (Service.Chaos.render rep)
+
+(* The qcheck angle: the contract must hold for arbitrary workload
+   shapes, not just the hand-picked one — random app subsets, user
+   counts and engine geometry, every crash point of each. *)
+let chaos_qcheck =
+  QCheck.Test.make ~count:6 ~name:"chaos sweep holds for arbitrary workloads"
+    QCheck.(
+      quad (int_range 1 3) (int_range 1 3) (int_range 1 3) (int_range 1 4))
+    (fun (napps, users, shards, every) ->
+      let apps =
+        List.filteri (fun i _ -> i < napps) Workload.Apps.mobile
+      in
+      let uploads =
+        List.map
+          (fun (u : Workload.Population.upload) ->
+            {
+              Service.Chaos.up_id = u.id;
+              up_app = u.app;
+              up_payload = u.payload;
+            })
+          (Workload.Population.generate ~apps ~users_per_app:users ())
+      in
+      let dir = fresh_dir () in
+      Fun.protect
+        ~finally:(fun () -> rm_rf dir)
+        (fun () ->
+          let rep =
+            Service.Chaos.sweep ~dir ~shards ~checkpoint_every:every
+              ~max_cases:24 ~uploads ()
+          in
+          if rep.rep_violations <> 0 then
+            QCheck.Test.fail_report (Service.Chaos.render rep);
+          true))
+
+(* Store.put under the same discipline: an abort at every IO index of
+   an install must leave the store either without the entry (a plain
+   miss) or with it intact — never with a corrupt visible entry. *)
+let test_store_put_crash_points () =
+  let k = Store.key ~kind:"chaos" [ "payload" ] in
+  let payload = String.concat "/" (List.init 64 string_of_int) in
+  (* Learn the op count from a fault-free install. *)
+  let total =
+    with_dir @@ fun dir ->
+    let count = ref 0 in
+    let inject ~op:_ =
+      incr count;
+      Util.Atomic_io.Proceed
+    in
+    let t = Store.open_dir ~inject dir in
+    Store.add t k payload;
+    Alcotest.(check bool) "fault-free install lands" true
+      (Store.find t k <> None);
+    !count
+  in
+  Alcotest.(check bool) "install has IO ops to abort" true (total > 0);
+  for at = 0 to total - 1 do
+    with_dir @@ fun dir ->
+    let fired = ref false in
+    let count = ref 0 in
+    let inject ~op:_ =
+      let n = !count in
+      incr count;
+      if n = at && not !fired then begin
+        fired := true;
+        if at mod 2 = 0 then Util.Atomic_io.Crash else Util.Atomic_io.Torn 5
+      end
+      else Util.Atomic_io.Proceed
+    in
+    let t = Store.open_dir ~inject dir in
+    (try Store.add t k payload
+     with Util.Atomic_io.Injected_crash _ -> ());
+    (* The next process: orphan sweep, then lookup. *)
+    let t2 = Store.open_dir dir in
+    (match Store.find t2 k with
+    | Some got ->
+      Alcotest.(check string)
+        (Printf.sprintf "crash point %d: visible entry is intact" at)
+        payload got
+    | None -> ());
+    Alcotest.(check int)
+      (Printf.sprintf "crash point %d: no corrupt visible state" at)
+      0 (Store.stats t2).Store.corrupt
+  done
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "wal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
+          Alcotest.test_case "torn tail" `Quick test_wal_torn_tail;
+          Alcotest.test_case "corrupt record" `Quick
+            test_wal_corrupt_record_stops_scan;
+          Alcotest.test_case "bad magic" `Quick test_wal_bad_magic;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "corruption is loud" `Quick
+            test_checkpoint_corruption_is_loud;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "ingest and recover" `Quick
+            test_engine_ingest_and_recover;
+          Alcotest.test_case "duplicate acked once" `Quick
+            test_engine_duplicate_acked_once;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_engine_rejects_garbage_payload;
+          Alcotest.test_case "checkpoint compacts" `Quick
+            test_engine_checkpoint_compacts_wal;
+          Alcotest.test_case "shard mismatch" `Quick
+            test_engine_shard_mismatch_is_loud;
+        ] );
+      ( "population",
+        [
+          Alcotest.test_case "deterministic" `Quick
+            test_population_deterministic;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "abort at every IO index" `Slow
+            test_chaos_sweep_full;
+          QCheck_alcotest.to_alcotest chaos_qcheck;
+          Alcotest.test_case "store put crash points" `Quick
+            test_store_put_crash_points;
+        ] );
+    ]

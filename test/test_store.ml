@@ -141,10 +141,50 @@ let test_corruption_falls_back () =
         "corrupt entry reads as miss" None (Store.find st k);
       Alcotest.(check int) "counted as corrupt" 1 (Store.stats st).corrupt;
       Alcotest.(check bool) "corrupt entry removed" false (Sys.file_exists path);
+      (* ...but not destroyed: it moved to the morgue for post-mortems *)
+      Alcotest.(check int) "quarantined for post-mortem" 1
+        (List.length (Store.quarantined st));
       (* recompute-and-add recovers *)
       Store.add st k "precious bytes";
       Alcotest.(check (option string))
         "recovers after re-add" (Some "precious bytes") (Store.find st k))
+
+let corrupt_in_place dir k =
+  let path =
+    Filename.concat (Filename.concat dir "blob") (Store.key_digest k)
+  in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  ignore (Unix.lseek fd (-2) Unix.SEEK_END);
+  ignore (Unix.write_substring fd "X" 0 1);
+  Unix.close fd
+
+let test_quarantine_bounded_and_invisible () =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let st = Store.open_dir ~quarantine_limit:3 dir in
+      (* Corrupt five distinct entries; the morgue must hold only the
+         three newest. *)
+      for i = 1 to 5 do
+        let k = Store.key ~kind:"blob" [ string_of_int i ] in
+        Store.add st k "payload payload";
+        corrupt_in_place dir k;
+        Alcotest.(check (option string))
+          "corrupt entry misses" None (Store.find st k)
+      done;
+      Alcotest.(check int) "morgue bounded at the limit" 3
+        (List.length (Store.quarantined st));
+      Alcotest.(check int) "five counted corrupt" 5 (Store.stats st).corrupt;
+      (* The morgue is invisible to cache accounting and clearing. *)
+      Alcotest.(check int) "no visible entries" 0 (Store.entry_count st);
+      Alcotest.(check int) "nothing to clear" 0 (Store.clear st);
+      Alcotest.(check int) "clear spares the morgue" 3
+        (List.length (Store.quarantined st));
+      (* A reopened store still sees the quarantined files. *)
+      let st2 = Store.open_dir dir in
+      Alcotest.(check int) "morgue survives reopen" 3
+        (List.length (Store.quarantined st2)))
 
 let test_version_mismatch_misses () =
   with_store (fun _dir st ->
@@ -339,6 +379,8 @@ let () =
             test_fuzzed_program_roundtrip;
           Alcotest.test_case "corruption falls back" `Quick
             test_corruption_falls_back;
+          Alcotest.test_case "quarantine bounded and invisible" `Quick
+            test_quarantine_bounded_and_invisible;
           Alcotest.test_case "version mismatch misses" `Quick
             test_version_mismatch_misses;
           Alcotest.test_case "clear and sizes" `Quick test_clear_and_sizes;

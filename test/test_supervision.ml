@@ -238,6 +238,27 @@ let test_journal_file_and_truncation () =
       Alcotest.(check bool) "reset removes the journal" false
         (Sys.file_exists path))
 
+(* The torn final line a crash mid-append leaves must be tolerated and
+   counted — resume proceeds with the parseable prefix — while blank
+   lines stay invisible (not torn, not entries). *)
+let test_journal_torn_tail_reported () =
+  let path = Filename.temp_file "critics" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Experiments.Journal.append path (entry "tab1" 1.0);
+      Experiments.Journal.append path (entry "tab3" 2.0);
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "\n{ \"id\": \"fig2\", \"wall_m";
+      close_out oc;
+      let entries, skipped = Experiments.Journal.load_report path in
+      Alcotest.(check int) "torn line counted" 1 skipped;
+      Alcotest.(check (list string)) "prefix survives" [ "tab1"; "tab3" ]
+        (List.map (fun e -> e.Experiments.Journal.entry_id) entries);
+      Alcotest.(check (list string)) "completed_ids tolerates the tear"
+        [ "tab1"; "tab3" ]
+        (Experiments.Journal.completed_ids path))
+
 (* --------------------- end-to-end containment ---------------------- *)
 
 (* The acceptance property: a seeded plan covering >= 3 fault kinds over
@@ -388,6 +409,8 @@ let () =
           Alcotest.test_case "line roundtrip" `Quick test_journal_roundtrip;
           Alcotest.test_case "file + truncated tail" `Quick
             test_journal_file_and_truncation;
+          Alcotest.test_case "torn tail reported" `Quick
+            test_journal_torn_tail_reported;
         ] );
       ( "containment",
         [

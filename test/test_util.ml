@@ -217,6 +217,112 @@ let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_rng_int_in_range; prop_percentile_monotone; prop_cdf_bounded ]
 
+(* --------------------------- Atomic_io ---------------------------- *)
+
+(* The durable write's contract: whatever IO operation a crash lands
+   on, a reader afterwards sees the complete old content or the
+   complete new content — never a tear, never an absence.  A contained
+   ENOSPC must additionally leave the OLD content (the caller was told
+   the write failed). *)
+let test_atomic_write_crash_points () =
+  let dir = Filename.temp_file "critics-aio" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun e -> Sys.remove (Filename.concat dir e))
+        (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      let path = Filename.concat dir "state" in
+      let old_content = "old content, fully intact" in
+      let new_content = "NEW content, rather longer than the old one" in
+      (* Learn the op count of one durable write. *)
+      let total =
+        let count = ref 0 in
+        let inject ~op:_ =
+          incr count;
+          Util.Atomic_io.Proceed
+        in
+        Util.Atomic_io.write ~durable:true ~inject path old_content;
+        !count
+      in
+      Alcotest.(check bool) "durable write has ops" true (total >= 3);
+      for at = 0 to total - 1 do
+        List.iteri
+          (fun case action ->
+            Util.Atomic_io.write ~durable:true path old_content;
+            let fired = ref false in
+            let count = ref 0 in
+            let inject ~op:_ =
+              let n = !count in
+              incr count;
+              if n = at && not !fired then begin
+                fired := true;
+                action
+              end
+              else Util.Atomic_io.Proceed
+            in
+            let crashed =
+              match
+                Util.Atomic_io.write ~durable:true ~inject path new_content
+              with
+              | () -> false
+              | exception Util.Atomic_io.Injected_crash _ -> true
+              | exception Unix.Unix_error (Unix.ENOSPC, _, _) -> false
+            in
+            let label what =
+              Printf.sprintf "op %d case %d: %s" at case what
+            in
+            let got = Util.Atomic_io.read_file path in
+            Alcotest.(check bool)
+              (label "old or new, never torn")
+              true
+              (got = old_content || got = new_content);
+            (* A write that returned success must show the new bytes.
+               A contained failure may show either (an ENOSPC after the
+               rename reports failure for an install that landed — the
+               ambiguity every commit protocol has) but never a tear,
+               which the check above already enforced. *)
+            if (not crashed) && not !fired then
+              Alcotest.(check string)
+                (label "completed write installed")
+                new_content got;
+            ignore (Util.Atomic_io.sweep_tmp dir))
+          [
+            Util.Atomic_io.Crash;
+            Util.Atomic_io.Torn 4;
+            Util.Atomic_io.Fail 2;
+          ]
+      done)
+
+let test_atomic_write_sweeps_crash_tmp () =
+  let dir = Filename.temp_file "critics-aio" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun e -> Sys.remove (Filename.concat dir e))
+        (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      let path = Filename.concat dir "state" in
+      let inject ~op =
+        if op = "aio.write" then Util.Atomic_io.Torn 2
+        else Util.Atomic_io.Proceed
+      in
+      (match Util.Atomic_io.write ~durable:true ~inject path "payload" with
+      | () -> Alcotest.fail "injected crash did not fire"
+      | exception Util.Atomic_io.Injected_crash _ -> ());
+      (* The simulated crash leaves its torn tmp, exactly like a real
+         one; the next startup's sweep collects it. *)
+      Alcotest.(check int) "torn tmp left behind" 1
+        (Util.Atomic_io.sweep_tmp dir);
+      Alcotest.(check int) "sweep is idempotent" 0
+        (Util.Atomic_io.sweep_tmp dir))
+
 let () =
   Alcotest.run "util"
     [
@@ -252,6 +358,13 @@ let () =
         [
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "bar chart" `Quick test_bar_chart;
+        ] );
+      ( "atomic-io",
+        [
+          Alcotest.test_case "crash at every IO op" `Quick
+            test_atomic_write_crash_points;
+          Alcotest.test_case "crash tmp swept" `Quick
+            test_atomic_write_sweeps_crash_tmp;
         ] );
       ("properties", qcheck_cases);
     ]
