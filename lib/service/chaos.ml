@@ -91,9 +91,11 @@ let drive eng uploads =
 let check_case ~dir ~cfg ~uploads ~acked ~baseline =
   let violations = ref [] in
   let bad fmt = Printf.ksprintf (fun m -> violations := m :: !violations) fmt in
-  (* Recovery must succeed on whatever the fault left behind. *)
+  (* Recovery must succeed on whatever the fault left behind.  Any
+     exception — Failure, Sys_error, Unix_error from mkdir/truncate/IO —
+     is a violation of this case, not a reason to kill the sweep. *)
   (match Engine.open_ cfg with
-  | exception Failure msg -> bad "recovery failed: %s" msg
+  | exception e -> bad "recovery failed: %s" (Printexc.to_string e)
   | eng, _rec ->
     (* 1. Acknowledged uploads survive. *)
     List.iter
@@ -121,7 +123,7 @@ let check_case ~dir ~cfg ~uploads ~acked ~baseline =
     Engine.close eng;
     (* 4. Reopen is a no-op: replay is idempotent. *)
     (match Engine.open_ cfg with
-    | exception Failure msg -> bad "second recovery failed: %s" msg
+    | exception e -> bad "second recovery failed: %s" (Printexc.to_string e)
     | eng2, _ ->
       if Engine.snapshot_bytes eng2 <> Engine.snapshot_bytes eng then
         bad "state changed across an idle close/reopen";

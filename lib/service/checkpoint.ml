@@ -51,9 +51,10 @@ let load path =
         | _ -> fail "bad header"
       in
       (* Cursor-parse the body: line-oriented header fields, a
-         length-framed id table (ids may contain any byte but
-         newline-free in practice; the frame makes no assumption), then
-         raw registry bytes. *)
+         length-framed id table, then raw registry bytes.  Id entries
+         are parsed purely by their length prefix — never with line()
+         — because ids are client-chosen and may contain any byte,
+         '\n' included. *)
       let pos = ref 0 in
       let len = String.length body in
       let line () =
@@ -76,24 +77,34 @@ let load path =
       let nids = int_field "ids" in
       let ids =
         List.init nids (fun _ ->
-            let l = line () in
-            match String.index_opt l ':' with
-            | None -> fail "bad id frame"
-            | Some colon -> (
-              match int_of_string_opt (String.sub l 0 colon) with
-              | Some idlen
-                when idlen >= 0 && colon + 1 + idlen + 1 <= String.length l
-              -> (
-                let id = String.sub l (colon + 1) idlen in
-                let rest =
-                  String.sub l
-                    (colon + 1 + idlen + 1)
-                    (String.length l - colon - idlen - 2)
-                in
-                match int_of_string_opt rest with
-                | Some s -> (id, s)
-                | None -> fail "bad id seq")
-              | _ -> fail "bad id frame length"))
+            let colon =
+              match String.index_from_opt body !pos ':' with
+              | None -> fail "bad id frame"
+              | Some i -> i
+            in
+            let idlen =
+              match int_of_string_opt (String.sub body !pos (colon - !pos)) with
+              | Some n when n >= 0 -> n
+              | _ -> fail "bad id frame length"
+            in
+            (* "<idlen>:<id bytes> <seq>\n" — the id bytes are taken
+               verbatim by length; only the delimiters around them are
+               structural. *)
+            if colon + 1 + idlen + 1 > len then fail "truncated id frame";
+            let id = String.sub body (colon + 1) idlen in
+            if body.[colon + 1 + idlen] <> ' ' then fail "bad id frame";
+            let seq_start = colon + 1 + idlen + 1 in
+            let nl =
+              match String.index_from_opt body seq_start '\n' with
+              | None -> fail "truncated id frame"
+              | Some i -> i
+            in
+            match int_of_string_opt (String.sub body seq_start (nl - seq_start))
+            with
+            | Some s ->
+              pos := nl + 1;
+              (id, s)
+            | None -> fail "bad id seq")
       in
       let reg_len = int_field "registry" in
       if len - !pos <> reg_len then fail "registry length mismatch";

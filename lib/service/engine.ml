@@ -5,13 +5,17 @@ type config = {
   shards : int;
   checkpoint_every : int;
   durable : bool;
+  dedup_window : int;
 }
 
-let config ?(shards = 4) ?(checkpoint_every = 256) ?(durable = true) dir =
+let config ?(shards = 4) ?(checkpoint_every = 256) ?(durable = true)
+    ?(dedup_window = 65536) dir =
   if shards < 1 then invalid_arg "Engine.config: shards must be >= 1";
   if checkpoint_every < 1 then
     invalid_arg "Engine.config: checkpoint_every must be >= 1";
-  { dir; shards; checkpoint_every; durable }
+  if dedup_window < 1 then
+    invalid_arg "Engine.config: dedup_window must be >= 1";
+  { dir; shards; checkpoint_every; durable; dedup_window }
 
 let meta_magic = "CRTSRV01"
 
@@ -88,20 +92,38 @@ let load_meta path =
 
 (* ------------------------------ apply ----------------------------- *)
 
+(* Duplicate suppression is windowed: ids whose sequence number has
+   fallen more than [window] behind the shard head are forgotten, which
+   bounds both resident memory and checkpoint size no matter how many
+   uploads the directory has ever ingested.  The slack batches removals
+   (one O(table) sweep per ~window/8 inserts) so pruning is amortized
+   O(1) per applied record. *)
+let prune_ids ~window ~applied ids =
+  if Hashtbl.length ids > window + max 8 (window / 8) then begin
+    let floor = applied - window in
+    let stale =
+      Hashtbl.fold
+        (fun id seq acc -> if seq <= floor then id :: acc else acc)
+        ids []
+    in
+    List.iter (Hashtbl.remove ids) stale
+  end
+
 (* One upload's effect on a shard: merge its registry delta and advance
    the durable bookkeeping.  Used identically by live ingest and by
    WAL replay, which is what makes replay reproduce exactly the
    acknowledged state. *)
-let apply_record shard ~seq ~id payload_reg =
+let apply_record shard ~window ~seq ~id payload_reg =
   Registry.merge_into ~into:shard.agg payload_reg;
   Registry.incr (Registry.counter shard.agg "service/uploads");
   Hashtbl.replace shard.ids id seq;
+  prune_ids ~window ~applied:seq shard.ids;
   shard.applied <- seq;
   shard.since_ckpt <- shard.since_ckpt + 1
 
 (* --------------------------- recovery ----------------------------- *)
 
-let recover_shard ?inject ~dir ~i () =
+let recover_shard ?inject ~dir ~window ~i () =
   let sdir = Filename.concat dir (shard_dirname i) in
   mkdir_p sdir;
   ignore (Util.Atomic_io.sweep_tmp sdir);
@@ -140,7 +162,8 @@ let recover_shard ?inject ~dir ~i () =
           | Ok reg ->
             Registry.merge_into ~into:agg reg;
             Registry.incr (Registry.counter agg "service/uploads");
-            Hashtbl.replace ids id seq
+            Hashtbl.replace ids id seq;
+            prune_ids ~window ~applied:seq ids
           | Error msg ->
             (* Digest-verified record with an unparseable payload: the
                writer validated it before appending, so this is wild
@@ -199,7 +222,9 @@ let open_ ?inject cfg =
   let torn_tails = ref 0 in
   let shard_arr =
     Array.init cfg.shards (fun i ->
-        let shard, (r, s, tb) = recover_shard ?inject ~dir:cfg.dir ~i () in
+        let shard, (r, s, tb) =
+          recover_shard ?inject ~dir:cfg.dir ~window:cfg.dedup_window ~i ()
+        in
         replayed := !replayed + r;
         skipped := !skipped + s;
         truncated := !truncated + tb;
@@ -278,8 +303,24 @@ let shard_of t ~app = shard_index ~shards:t.cfg.shards app
 type ack = { ack_shard : int; ack_seq : int; ack_duplicate : bool }
 
 let ingest t ~id ~app ~payload =
-  (* Validate before logging: the WAL must only ever contain applicable
-     records, so replay cannot fail on what ingest accepted. *)
+  (* Validate before locking: both limits are client-controlled, and
+     Wal.append raises Invalid_argument past them — which must never
+     happen with the shard mutex held.  The WAL likewise must only ever
+     contain applicable records, so replay cannot fail on what ingest
+     accepted. *)
+  if String.length id > Wal.max_id_bytes then begin
+    count t "service/rejects";
+    Error
+      (Printf.sprintf "invalid id: %d bytes exceeds %d" (String.length id)
+         Wal.max_id_bytes)
+  end
+  else if 2 + String.length id + String.length payload > Wal.max_body then begin
+    count t "service/rejects";
+    Error
+      (Printf.sprintf "oversized upload: record body exceeds %d bytes"
+         Wal.max_body)
+  end
+  else
   match Registry.of_bytes payload with
   | Error msg ->
     count t "service/rejects";
@@ -295,19 +336,22 @@ let ingest t ~id ~app ~payload =
     | None -> (
       let seq = shard.applied + 1 in
       match Wal.append shard.wal ~seq ~id ~payload with
-      | exception (Unix.Unix_error _ as e) ->
-        Mutex.unlock shard.lock;
-        count t "service/rejects";
-        Error ("append failed: " ^ Printexc.to_string e)
-      | exception e ->
+      | exception (Util.Atomic_io.Injected_crash _ as e) ->
         (* Injected crash: simulated process death — do not release the
            lock or repair anything; the "process" is gone and recovery
            owns the state now. *)
         raise e
+      | exception e ->
+        (* Contained failure (ENOSPC and anything else the append can
+           raise): Wal.append already truncated its partial tail, so
+           unlock and refuse the ack — the shard must keep serving. *)
+        Mutex.unlock shard.lock;
+        count t "service/rejects";
+        Error ("append failed: " ^ Printexc.to_string e)
       | () ->
         (* The record is durable: this is the acknowledgement point.
            Everything below re-derives from the WAL on recovery. *)
-        apply_record shard ~seq ~id payload_reg;
+        apply_record shard ~window:t.cfg.dedup_window ~seq ~id payload_reg;
         let r = { ack_shard = shard.id; ack_seq = seq; ack_duplicate = false } in
         maybe_checkpoint_locked t shard;
         Mutex.unlock shard.lock;

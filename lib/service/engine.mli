@@ -16,11 +16,16 @@
       loads the last checkpoint (sequence [S]) and applies only records
       with [seq > S], each exactly once.  Re-running recovery is a
       no-op.
-    - {b Re-submission is idempotent.}  Every upload carries a client
-      id; a duplicate is acknowledged without being re-applied (the
-      applied-id table is part of the checkpoint and the WAL records,
-      so it survives recovery).  A client that crashed mid-upload can
-      always just send again.
+    - {b Re-submission is idempotent — within the dedup window.}  Every
+      upload carries a client id; a duplicate is acknowledged without
+      being re-applied (the applied-id table is part of the checkpoint
+      and the WAL records, so it survives recovery).  A client that
+      crashed mid-upload can always just send again.  Retention is
+      bounded: a shard remembers the ids of its most recent
+      [dedup_window] applied uploads, so state and checkpoint size
+      stay O(window) instead of growing with lifetime ingest.  A
+      retry arriving more than [dedup_window] uploads late is applied
+      as new — clients must retry promptly, not weeks later.
     - {b Torn tails are repaired, corruption is loud.}  A torn final
       WAL record (crash mid-append — by the ack contract, never
       acknowledged) is truncated at recovery and counted.  A corrupt
@@ -41,11 +46,22 @@ type config = {
       (** [false] skips fsyncs (throughput mode for benchmarks on
           filesystems where fsync is the bottleneck); the crash
           contract then only covers process death, not power loss *)
+  dedup_window : int;
+      (** per-shard duplicate-suppression retention, in applied
+          uploads: ids older than this many sequence numbers are
+          forgotten (bounds memory and checkpoint size); see the
+          re-submission contract above *)
 }
 
 val config :
-  ?shards:int -> ?checkpoint_every:int -> ?durable:bool -> string -> config
-(** Defaults: 4 shards, checkpoint every 256 records, durable. *)
+  ?shards:int ->
+  ?checkpoint_every:int ->
+  ?durable:bool ->
+  ?dedup_window:int ->
+  string ->
+  config
+(** Defaults: 4 shards, checkpoint every 256 records, durable, dedup
+    window 65536. *)
 
 type t
 
@@ -68,17 +84,22 @@ type ack = { ack_shard : int; ack_seq : int; ack_duplicate : bool }
 
 val ingest : t -> id:string -> app:string -> payload:string -> (ack, string) result
 (** Durably ingest one upload.  [Error] — invalid payload (not a
-    registry wire form), or a contained I/O failure like ENOSPC — means
+    registry wire form), an id over {!Wal.max_id_bytes}, a record over
+    {!Wal.max_body}, or a contained I/O failure like ENOSPC — means
     {e not acknowledged, not applied}; the caller may retry with the
-    same [id].  Thread-safe; callers on a domain pool contend per
-    shard.  Under chaos, {!Util.Atomic_io.Injected_crash} escapes —
-    that upload's fate is decided by recovery. *)
+    same [id].  Oversized input is rejected before the shard lock is
+    taken, so no client-controlled bytes can wedge a shard.
+    Thread-safe; callers on a domain pool contend per shard.  Under
+    chaos, {!Util.Atomic_io.Injected_crash} escapes — that upload's
+    fate is decided by recovery. *)
 
 val uploads : t -> int
-(** Distinct uploads applied, over all shards (survives recovery). *)
+(** Distinct uploads retained in the dedup window, over all shards
+    (survives recovery).  Equals total uploads ever applied while that
+    total is below [dedup_window] per shard. *)
 
 val mem : t -> id:string -> bool
-(** Has this upload id been applied? *)
+(** Is this upload id in the retained dedup window? *)
 
 val snapshot : t -> Telemetry.Registry.t
 (** Fresh merge of every shard's aggregate (the shards keep their own

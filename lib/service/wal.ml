@@ -1,5 +1,6 @@
 let header = "CRTWAL01"
 let frame_bytes = 4 + 8 + 16 (* len + seq + digest *)
+let max_id_bytes = 0xFFFF
 let max_body = 16 * 1024 * 1024
 
 type t = {
@@ -33,7 +34,7 @@ let close t =
 
 let encode_record ~seq ~id ~payload =
   let id_len = String.length id in
-  if id_len > 0xFFFF then invalid_arg "Wal.append: id longer than 65535";
+  if id_len > max_id_bytes then invalid_arg "Wal.append: id longer than 65535";
   let body_len = 2 + id_len + String.length payload in
   if body_len > max_body then invalid_arg "Wal.append: oversized record";
   let b = Bytes.create (frame_bytes + body_len) in

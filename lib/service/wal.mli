@@ -26,6 +26,15 @@ type t
 val header : string
 (** The 8-byte file magic ["CRTWAL01"]. *)
 
+val max_id_bytes : int
+(** Largest encodable client id (65535 — the 2-byte idlen field).
+    [append] raises [Invalid_argument] past it; services must validate
+    before calling. *)
+
+val max_body : int
+(** Largest encodable record body (idlen field + id + payload), 16 MiB.
+    Same contract as {!max_id_bytes}. *)
+
 val open_writer : ?inject:Util.Atomic_io.injector -> string -> t
 (** Open the log for appending, creating it (with header, durably) if
     missing.  The caller must have repaired any torn tail first

@@ -222,10 +222,14 @@ let add_blob t k produce =
     mkdir_p (Filename.concat t.dir k.kind);
     produce tmp;
     (* Same durability contract as [add]: fsync the produced blob
-       before the rename and the directory after it. *)
-    let fd = Unix.openfile tmp [ Unix.O_RDONLY ] 0 in
-    (try Unix.fsync fd with Unix.Unix_error _ -> ());
-    (try Unix.close fd with Unix.Unix_error _ -> ());
+       before the rename and the directory after it.  Opened for
+       writing — some platforms refuse fsync on a read-only fd — and a
+       failed fsync propagates to the handler below, so the install is
+       reported failed rather than silently non-durable. *)
+    let fd = Unix.openfile tmp [ Unix.O_WRONLY ] 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> Unix.fsync fd);
     Unix.rename tmp path;
     Util.Atomic_io.fsync_dir (Filename.dirname path);
     t.writes <- t.writes + 1;

@@ -131,6 +131,25 @@ let test_checkpoint_roundtrip () =
       c'.ids;
     Alcotest.(check string) "registry bytes" c.registry c'.registry
 
+(* Ids are client-chosen arbitrary bytes.  The id table is
+   length-framed, so ids containing newlines, colons, spaces or raw
+   binary must round-trip — a '\n' id once made the loader fail and
+   permanently wedged its shard directory. *)
+let test_checkpoint_hostile_ids () =
+  with_dir @@ fun dir ->
+  let path = Filename.concat dir "ckpt.bin" in
+  let ids =
+    [ ("maps/u\n0001", 3); ("x:y z", 1); ("\n\n", 2); ("", 4); ("\x00\xff", 5) ]
+  in
+  Service.Checkpoint.save path
+    { Service.Checkpoint.seq = 5; ids; registry = "" };
+  match Service.Checkpoint.load path with
+  | Error msg -> Alcotest.fail msg
+  | Ok None -> Alcotest.fail "checkpoint vanished"
+  | Ok (Some c) ->
+    Alcotest.(check (list (pair string int)))
+      "hostile ids round-trip (sorted)" (List.sort compare ids) c.ids
+
 let test_checkpoint_corruption_is_loud () =
   with_dir @@ fun dir ->
   let path = Filename.concat dir "ckpt.bin" in
@@ -238,6 +257,93 @@ let test_engine_checkpoint_compacts_wal () =
     Alcotest.(check bool) "fsck strictly clean" true
       (Service.Engine.clean ~strict:true rep);
     Alcotest.(check int) "fsck sees the uploads" 8 rep.total_uploads
+
+(* End-to-end regression: an id containing '\n' must survive the
+   checkpoint/recover cycle — before the length-framed id parse, the
+   first checkpoint holding such an id made the shard unopenable. *)
+let test_engine_newline_id_recovers () =
+  with_dir @@ fun dir ->
+  let cfg = Service.Engine.config ~shards:1 dir in
+  let hostile = "maps/u\n0001: x" in
+  let payload = payload_of_counter "population/uploads" 1 in
+  let eng, _ = Service.Engine.open_ cfg in
+  ignore (ingest_exn eng ~id:hostile ~app:"maps" ~payload);
+  Service.Engine.checkpoint eng;
+  Service.Engine.close eng;
+  let eng2, r = Service.Engine.open_ cfg in
+  Alcotest.(check int) "upload survives checkpoint" 1 r.rec_uploads;
+  Alcotest.(check bool) "hostile id found" true
+    (Service.Engine.mem eng2 ~id:hostile);
+  let a = ingest_exn eng2 ~id:hostile ~app:"maps" ~payload in
+  Alcotest.(check bool) "still deduplicated" true a.ack_duplicate;
+  Service.Engine.close eng2;
+  match Service.Engine.fsck dir with
+  | Error msg -> Alcotest.fail msg
+  | Ok rep ->
+    Alcotest.(check bool) "fsck strictly clean" true
+      (Service.Engine.clean ~strict:true rep)
+
+(* Oversized input is client-controlled: it must come back as [Error],
+   and — the part that once failed — must not leave the shard mutex
+   held, so the very next upload on the same shard still lands. *)
+let test_engine_oversized_input_contained () =
+  with_dir @@ fun dir ->
+  let eng, _ =
+    Service.Engine.open_ (Service.Engine.config ~shards:1 dir)
+  in
+  let payload = payload_of_counter "population/uploads" 1 in
+  (match
+     Service.Engine.ingest eng ~id:(String.make 70_000 'x') ~app:"maps"
+       ~payload
+   with
+  | Ok _ -> Alcotest.fail "70kB id acked"
+  | Error _ -> ());
+  (match
+     Service.Engine.ingest eng ~id:"big" ~app:"maps"
+       ~payload:(String.make (16 * 1024 * 1024) 'p')
+   with
+  | Ok _ -> Alcotest.fail "16MiB payload acked"
+  | Error _ -> ());
+  let a = ingest_exn eng ~id:"maps/u0001" ~app:"maps" ~payload in
+  Alcotest.(check bool) "shard still serves" false a.ack_duplicate;
+  Alcotest.(check int) "only the valid upload applied" 1
+    (Service.Engine.uploads eng);
+  Service.Engine.close eng
+
+(* The dedup retention contract: ids inside the window deduplicate,
+   ids pruned out of it are applied as new, and the table stays
+   bounded. *)
+let test_engine_dedup_window () =
+  with_dir @@ fun dir ->
+  let cfg =
+    Service.Engine.config ~shards:1 ~checkpoint_every:1000 ~dedup_window:4
+      dir
+  in
+  let eng, _ = Service.Engine.open_ cfg in
+  let payload = payload_of_counter "population/uploads" 1 in
+  for i = 1 to 16 do
+    let a =
+      ingest_exn eng ~id:(Printf.sprintf "maps/u%02d" i) ~app:"maps" ~payload
+    in
+    Alcotest.(check bool) "fresh id is new" false a.ack_duplicate
+  done;
+  let recent = ingest_exn eng ~id:"maps/u16" ~app:"maps" ~payload in
+  Alcotest.(check bool) "retry inside window deduplicates" true
+    recent.ack_duplicate;
+  let ancient = ingest_exn eng ~id:"maps/u01" ~app:"maps" ~payload in
+  Alcotest.(check bool) "retry outside window re-applies" false
+    ancient.ack_duplicate;
+  Alcotest.(check bool) "table bounded by window + slack" true
+    (Service.Engine.uploads eng <= 12);
+  Service.Engine.close eng;
+  (* The windowed table is what the checkpoint persists and recovery
+     rebuilds. *)
+  let eng2, _ = Service.Engine.open_ cfg in
+  Alcotest.(check bool) "recent id survives restart" true
+    (Service.Engine.mem eng2 ~id:"maps/u16");
+  Alcotest.(check bool) "pruned id stays forgotten" false
+    (Service.Engine.mem eng2 ~id:"maps/u02");
+  Service.Engine.close eng2
 
 let test_engine_shard_mismatch_is_loud () =
   with_dir @@ fun dir ->
@@ -394,6 +500,7 @@ let () =
       ( "checkpoint",
         [
           Alcotest.test_case "roundtrip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "hostile ids" `Quick test_checkpoint_hostile_ids;
           Alcotest.test_case "corruption is loud" `Quick
             test_checkpoint_corruption_is_loud;
         ] );
@@ -407,6 +514,11 @@ let () =
             test_engine_rejects_garbage_payload;
           Alcotest.test_case "checkpoint compacts" `Quick
             test_engine_checkpoint_compacts_wal;
+          Alcotest.test_case "newline id recovers" `Quick
+            test_engine_newline_id_recovers;
+          Alcotest.test_case "oversized input contained" `Quick
+            test_engine_oversized_input_contained;
+          Alcotest.test_case "dedup window" `Quick test_engine_dedup_window;
           Alcotest.test_case "shard mismatch" `Quick
             test_engine_shard_mismatch_is_loud;
         ] );
