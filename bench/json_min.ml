@@ -1,0 +1,144 @@
+(* Minimal dependency-free JSON parsing shared by the bench CI gates
+   (validate_smoke, validate_policy).  A recursive-descent parser —
+   enough for the bench's own emitter and the checked-in envelopes.  No
+   dependency on a JSON library keeps the gates runnable anywhere the
+   repo builds. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let string_body () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance (); Buffer.contents b
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some ('"' as c) | Some ('\\' as c) | Some ('/' as c) ->
+          Buffer.add_char b c; advance (); go ()
+        | Some 'n' -> Buffer.add_char b '\n'; advance (); go ()
+        | Some 't' -> Buffer.add_char b '\t'; advance (); go ()
+        | Some 'r' -> Buffer.add_char b '\r'; advance (); go ()
+        | Some 'b' -> Buffer.add_char b '\b'; advance (); go ()
+        | Some 'f' -> Buffer.add_char b '\012'; advance (); go ()
+        | Some 'u' ->
+          (* tolerate \uXXXX by passing it through verbatim: ids and
+             keys in our files are ASCII *)
+          Buffer.add_string b "\\u"; advance (); go ()
+        | _ -> fail "bad escape")
+      | Some c -> Buffer.add_char b c; advance (); go ()
+    in
+    go ()
+  in
+  let number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin advance (); Obj [] end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = string_body () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); members ((k, v) :: acc)
+          | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin advance (); Arr [] end
+      else begin
+        let rec elements acc =
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); elements (v :: acc)
+          | Some ']' -> advance (); Arr (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        elements []
+      end
+    | Some '"' -> Str (string_body ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> number ()
+    | None -> fail "unexpected end of input"
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let field name = function
+  | Obj kvs -> (
+    match List.assoc_opt name kvs with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "missing field %S" name))
+  | _ -> failwith (Printf.sprintf "expected object with field %S" name)
+
+let num = function Num f -> f | _ -> failwith "expected number"
+let str = function Str s -> s | _ -> failwith "expected string"
+let arr = function Arr l -> l | _ -> failwith "expected array"

@@ -193,7 +193,7 @@ let telemetry_json registry =
   "{ " ^ String.concat ", " entries ^ " }"
 
 let json_results ~jobs ~total_ms ?(telemetry = []) ?(fetch = []) ?cache
-    timings =
+    ?policy_lab timings =
   let gc = Gc.quick_stat () in
   let git, dirty = provenance () in
   let b = Buffer.create 1024 in
@@ -207,6 +207,12 @@ let json_results ~jobs ~total_ms ?(telemetry = []) ?(fetch = []) ?cache
     (Printf.sprintf "  \"top_heap_words\": %d,\n" gc.Gc.top_heap_words);
   (match cache with
   | Some json -> Buffer.add_string b (Printf.sprintf "  \"cache\": %s,\n" json)
+  | None -> ());
+  (* Per-cell policy-sweep results (--policy-sweep): the machine-readable
+     twin of the policy-lab tables, for CI gating and cross-PR diffing. *)
+  (match policy_lab with
+  | Some json ->
+    Buffer.add_string b (Printf.sprintf "  \"policy_lab\": %s,\n" json)
   | None -> ());
   Buffer.add_string b "  \"artifacts\": [\n";
   List.iteri
@@ -255,7 +261,7 @@ let atomic_write path contents =
 let results_path = "BENCH_results.json"
 let journal_path = "BENCH_journal.jsonl"
 
-let tables ~jobs ~resume ~telemetry ~ablation () =
+let tables ~jobs ~resume ~telemetry ~ablation ~policy_sweep () =
   Printf.printf
     "CritICs reproduction — regenerating every table and figure\n\
      (%d work instructions per app run; see EXPERIMENTS.md for the\n\
@@ -320,13 +326,24 @@ let tables ~jobs ~resume ~telemetry ~ablation () =
       };
     r
   in
-  (* --ablation appends the opt-in artifacts (Experiments.extra) after
-     the paper's figure set; the default artifact list — and so the
-     recorded bench stdout — is unchanged without it. *)
+  (* Opt-in artifacts append after the paper's figure set, each behind
+     its own flag (--ablation: nanopass; --policy-sweep: policy-lab) so
+     the default artifact list — and so the recorded bench stdout — is
+     unchanged without them, and each CI smoke job pays only for the
+     artifact it gates. *)
+  let extra_entries =
+    List.filter
+      (fun (e : Experiments.entry) ->
+        match e.id with
+        | "nanopass" -> ablation
+        | "policy-lab" -> policy_sweep
+        | _ -> ablation)
+      Experiments.extra
+  in
   let entries =
     List.filter
       (fun (e : Experiments.entry) -> not (List.mem e.id skip))
-      (Experiments.all @ if ablation then Experiments.extra else [])
+      (Experiments.all @ extra_entries)
   in
   let t_start = Unix.gettimeofday () in
   (* Evaluate every (app × scheme × config) job of every remaining
@@ -388,9 +405,20 @@ let tables ~jobs ~resume ~telemetry ~ablation () =
     | Some _ ->
       Some (Telemetry.Registry.to_json (Experiments.Harness.cache_registry h))
   in
+  (* The embed re-runs Policy_lab.run; with the artifact freshly
+     rendered every simulation is a memo hit, so this is a read-out,
+     not a second sweep. *)
+  let policy_lab_json =
+    if policy_sweep && not (List.mem_assoc "policy-lab" !failed) then
+      match Experiments.Policy_lab.to_json (Experiments.Policy_lab.run h) with
+      | json -> Some json
+      | exception _ -> None
+    else None
+  in
   let json =
     json_results ~jobs ~total_ms ~telemetry:(List.rev !telemetry_summaries)
-      ~fetch:(List.rev !fetch_summaries) ?cache:cache_json merged
+      ~fetch:(List.rev !fetch_summaries) ?cache:cache_json
+      ?policy_lab:policy_lab_json merged
   in
   atomic_write results_path json;
   Printf.eprintf "[bench] jobs=%d total=%.1fs — timings in %s\n" jobs
@@ -416,7 +444,7 @@ let tables ~jobs ~resume ~telemetry ~ablation () =
 let usage () =
   prerr_endline
     "usage: bench [--micro] [--jobs N] [--instrs N] [--resume] \
-     [--telemetry] [--ablation]\n\n\
+     [--telemetry] [--ablation] [--policy-sweep]\n\n\
      Regenerates every table and figure (default) or runs the Bechamel\n\
      micro-benchmarks (--micro).\n\n\
     \  --jobs N    domain-pool width (default: recommended domain count,\n\
@@ -432,7 +460,10 @@ let usage () =
     \              bit-identical either way)\n\
     \  --ablation  also regenerate the opt-in artifacts beyond the paper's\n\
     \              figure set (the nanopass pass-list ablations); the\n\
-    \              default artifact list is unchanged without it";
+    \              default artifact list is unchanged without it\n\
+    \  --policy-sweep  also run the front-end policy laboratory (i-cache\n\
+    \              replacement x instruction-prefetch x app) and embed the\n\
+    \              per-cell results as \"policy_lab\" in BENCH_results.json";
   exit 2
 
 let () =
@@ -444,6 +475,7 @@ let () =
   let resume = ref false in
   let telemetry = ref false in
   let ablation = ref false in
+  let policy_sweep = ref false in
   let jobs = ref (Parallel.default_jobs ()) in
   let set_int name r v =
     match int_of_string_opt v with
@@ -463,6 +495,9 @@ let () =
       parse rest
     | "--ablation" :: rest ->
       ablation := true;
+      parse rest
+    | "--policy-sweep" :: rest ->
+      policy_sweep := true;
       parse rest
     | "--jobs" :: n :: rest ->
       set_int "--jobs" jobs n;
@@ -487,4 +522,4 @@ let () =
   if !micro_mode then micro ()
   else
     tables ~jobs:!jobs ~resume:!resume ~telemetry:!telemetry
-      ~ablation:!ablation ()
+      ~ablation:!ablation ~policy_sweep:!policy_sweep ()

@@ -186,7 +186,8 @@ let schemes_cmd =
 let experiment_cmd =
   let id_arg =
     let doc =
-      "Experiment id (tab1, tab2, fig1, ..., ablations, nanopass) or `all'."
+      "Experiment id (tab1, tab2, fig1, ..., ablations, nanopass, \
+       policy-lab) or `all'."
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in

@@ -17,6 +17,10 @@ type scheme_cache = {
   mutable pack_records : int;
   mutable pack_corrupt : int;
   mutable pack_bytes : int;
+  (* Per-scheme block-temperature tables for the TRRIP i-cache policy:
+     a few bytes per block, so not LRU-bounded.  Derived state, never
+     marshalled with the context payload. *)
+  mutable heats : (Scheme.t * int array) list;
 }
 
 let cache_capacity = 1
@@ -81,6 +85,7 @@ let prepare ?store ?(instrs = default_instrs) ?(sample = 0)
         pack_records = 0;
         pack_corrupt = 0;
         pack_bytes = 0;
+        heats = [];
       }
     in
     {
@@ -352,8 +357,43 @@ let source ctx scheme : Pipeline.Cpu.source = fun () -> stream ctx scheme
 let trace_of ctx scheme =
   Prog.Trace.expand (transformed ctx scheme) ~seed:ctx.seed ctx.path
 
+(* Block temperatures of a scheme's dynamic stream (Profiler.Heat),
+   memoized per scheme: the profile is deterministic, so — as with
+   transformed programs — a lost race between domains recomputes an
+   identical table and the first write wins. *)
+let heat ctx scheme =
+  let c = ctx.scheme_cache in
+  Mutex.lock c.cache_lock;
+  let hit = List.assoc_opt scheme c.heats in
+  Mutex.unlock c.cache_lock;
+  match hit with
+  | Some t -> t
+  | None ->
+    let num_blocks = Prog.Program.num_blocks (transformed ctx scheme) in
+    let t =
+      Profiler.Heat.temperatures
+        (Profiler.Heat.profile ~num_blocks (stream ctx scheme))
+    in
+    Mutex.lock c.cache_lock;
+    let t =
+      match List.assoc_opt scheme c.heats with
+      | Some winner -> winner
+      | None ->
+        c.heats <- (scheme, t) :: c.heats;
+        t
+    in
+    Mutex.unlock c.cache_lock;
+    t
+
 let stats ?(config = Pipeline.Config.table_i) ?fuel ?probe ctx scheme =
-  Pipeline.Cpu.run_stream ?fuel ?probe config (source ctx scheme)
+  (* The TRRIP policy is the one consumer of block temperatures; other
+     policies ignore the hint, so the table is only computed (once per
+     scheme) when it can matter. *)
+  if config.Pipeline.Config.mem.Mem.Hierarchy.l1i_policy = Mem.Replacement.Trrip
+  then
+    Pipeline.Cpu.run_stream ?fuel ?probe ~itemp:(heat ctx scheme) config
+      (source ctx scheme)
+  else Pipeline.Cpu.run_stream ?fuel ?probe config (source ctx scheme)
 
 let speedup ~base (st : Pipeline.Stats.t) =
   (float_of_int base.Pipeline.Stats.cycles /. float_of_int st.cycles) -. 1.0

@@ -112,6 +112,12 @@ val trace_of : app_context -> Scheme.t -> Prog.Trace.t
     characterization).  O(trace) memory and uncached: transient use
     only. *)
 
+val heat : app_context -> Scheme.t -> int array
+(** Per-block temperatures (0 hot .. 3 cold) of the scheme's dynamic
+    stream, from {!Profiler.Heat} — the table TRRIP configurations feed
+    to {!Pipeline.Cpu.run_stream} as [?itemp].  Memoized per scheme on
+    the context. *)
+
 val stats :
   ?config:Pipeline.Config.t ->
   ?fuel:int ->
@@ -123,7 +129,9 @@ val stats :
     bounds the run in simulated cycles; exceeding it raises
     [Util.Err.Error] with kind [Timeout].  [probe] attaches a telemetry
     observer; the returned stats are bit-identical with or without one
-    (see {!Pipeline.Cpu.run_stream}). *)
+    (see {!Pipeline.Cpu.run_stream}).  When the configuration selects
+    the TRRIP i-cache policy, the scheme's {!heat} table is computed
+    and threaded through automatically. *)
 
 val speedup : base:Pipeline.Stats.t -> Pipeline.Stats.t -> float
 (** Fractional cycle-count improvement over [base] for the same work. *)

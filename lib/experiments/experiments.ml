@@ -18,6 +18,7 @@ module Tables = Tables
 module Macro_study = Macro_study
 module Ablations = Ablations
 module Nanopass_study = Nanopass_study
+module Policy_lab = Policy_lab
 
 type entry = {
   id : string;
@@ -101,6 +102,10 @@ let extra : entry list =
     { id = "nanopass"; title = "Pass-list ablations (nanopass pipeline)";
       render = (fun h -> Nanopass_study.render (Nanopass_study.run h));
       jobs = (fun () -> Nanopass_study.jobs ()) };
+    { id = "policy-lab";
+      title = "Front-end policy laboratory (replacement x i-prefetch)";
+      render = (fun h -> Policy_lab.render (Policy_lab.run h));
+      jobs = (fun () -> Policy_lab.jobs ()) };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) (all @ extra)

@@ -14,9 +14,8 @@ type t = {
   sets : int;
   assoc : int;
   tags : int array array;     (* tags.(set).(way); -1 = invalid *)
-  recency : int array array;  (* larger = more recently used *)
   dirty : bool array array;
-  mutable clock : int;
+  repl : Replacement.t;
   mutable accesses : int;
   mutable hits : int;
   mutable misses : int;
@@ -25,7 +24,8 @@ type t = {
   mutable writebacks : int;
   (* Victim of the most recent install, readable without allocating the
      [(addr, dirty) option] of {!access_evict}: -1 = no valid line was
-     displaced.  Only meaningful immediately after {!access_demand}. *)
+     displaced.  Only meaningful immediately after {!access_demand} or
+     {!fill}. *)
   mutable victim_addr : int;
   mutable victim_dirty : bool;
 }
@@ -36,7 +36,8 @@ let log2 x =
   let rec go i v = if v <= 1 then i else go (i + 1) (v lsr 1) in
   go 0 x
 
-let create ~name ~size_bytes ~assoc ~line_bytes =
+let create ?(policy = Replacement.Lru) ~name ~size_bytes ~assoc ~line_bytes ()
+    =
   if not (is_pow2 line_bytes) then
     invalid_arg "Cache.create: line_bytes must be a power of two";
   if assoc <= 0 then invalid_arg "Cache.create: assoc must be positive";
@@ -50,9 +51,8 @@ let create ~name ~size_bytes ~assoc ~line_bytes =
     sets;
     assoc;
     tags = Array.init sets (fun _ -> Array.make assoc (-1));
-    recency = Array.init sets (fun _ -> Array.make assoc 0);
     dirty = Array.init sets (fun _ -> Array.make assoc false);
-    clock = 0;
+    repl = Replacement.create policy ~sets ~assoc;
     accesses = 0;
     hits = 0;
     misses = 0;
@@ -67,6 +67,7 @@ let name t = t.name
 let line_bytes t = t.line_bytes
 let sets t = t.sets
 let assoc t = t.assoc
+let policy t = Replacement.kind t.repl
 let line_of t addr = addr land lnot (t.line_bytes - 1)
 
 (* -1 when the tag is not present: called once per access, so it avoids
@@ -85,27 +86,23 @@ let find_way t set tag =
   done;
   !found
 
-let touch t set way =
-  t.clock <- t.clock + 1;
-  t.recency.(set).(way) <- t.clock
-
+(* Invalid ways are preferred regardless of policy; the replacement
+   policy only arbitrates full sets. *)
 let victim_way t set =
   let tags = t.tags.(set) in
-  let recency = t.recency.(set) in
-  let best = ref 0 in
   let invalid = ref (-1) in
-  for i = 0 to t.assoc - 1 do
-    if tags.(i) = -1 then begin
-      if !invalid < 0 then invalid := i
-    end
-    else if recency.(i) < recency.(!best) then best := i
+  let i = ref 0 in
+  while !invalid < 0 && !i < t.assoc do
+    if tags.(!i) = -1 then invalid := !i;
+    incr i
   done;
-  if !invalid >= 0 then !invalid else !best
+  if !invalid >= 0 then !invalid else Replacement.victim t.repl ~set
 
 (* Install a tag, recording the victim line in [victim_addr]/
    [victim_dirty] ([victim_addr = -1]: no valid line displaced).
-   Returns the way used. *)
-let install t set tag =
+   Returns the way used.  [hint] is the replacement policy's fill hint
+   (temperature for TRRIP; ignored by the others; -1 = none). *)
+let install t set tag hint =
   let way = victim_way t set in
   let old_tag = t.tags.(set).(way) in
   if old_tag = -1 then t.victim_addr <- -1
@@ -118,13 +115,13 @@ let install t set tag =
   end;
   t.tags.(set).(way) <- tag;
   t.dirty.(set).(way) <- false;
-  touch t set way;
+  Replacement.on_fill t.repl ~set ~way ~hint;
   way
 
-(* [~write] is a plain labelled bool, not optional: the hot path in
-   Mem.Hierarchy passes a runtime-computed flag, and an optional
-   argument would box it as [Some write] on every access. *)
-let access_demand ~write t addr =
+(* [~write]/[~hint] are plain labelled arguments, not optional: the hot
+   path in Mem.Hierarchy passes runtime-computed values, and an optional
+   argument would box them as [Some _] on every access. *)
+let access_demand_hinted ~write ~hint t addr =
   (* set_and_tag, open-coded to skip the per-access pair allocation *)
   let line = addr lsr t.line_shift in
   let set = line mod t.sets and tag = line / t.sets in
@@ -132,7 +129,7 @@ let access_demand ~write t addr =
   let way = find_way t set tag in
   if way >= 0 then begin
     t.hits <- t.hits + 1;
-    touch t set way;
+    Replacement.on_hit t.repl ~set ~way;
     if write then t.dirty.(set).(way) <- true;
     t.victim_addr <- -1;
     true
@@ -140,10 +137,12 @@ let access_demand ~write t addr =
   else begin
     t.misses <- t.misses + 1;
     t.fills <- t.fills + 1;
-    let way = install t set tag in
+    let way = install t set tag hint in
     if write then t.dirty.(set).(way) <- true;
     false
   end
+
+let access_demand ~write t addr = access_demand_hinted ~write ~hint:(-1) t addr
 
 let victim_addr t = t.victim_addr
 let victim_dirty t = t.victim_dirty
@@ -165,16 +164,25 @@ let fill t addr =
   let line = addr lsr t.line_shift in
   let set = line mod t.sets and tag = line / t.sets in
   let way = find_way t set tag in
-  if way >= 0 then touch t set way
+  if way >= 0 then begin
+    Replacement.on_hit t.repl ~set ~way;
+    (* The line was already resident: nothing was displaced.  Leaving
+       the previous install's victim in place would let a caller absorb
+       the same writeback twice. *)
+    t.victim_addr <- -1
+  end
   else begin
     t.fills <- t.fills + 1;
     t.prefetch_fills <- t.prefetch_fills + 1;
-    ignore (install t set tag)
+    ignore (install t set tag (-1))
   end
 
 let invalidate_all t =
   Array.iter (fun ways -> Array.fill ways 0 t.assoc (-1)) t.tags;
-  Array.iter (fun d -> Array.fill d 0 t.assoc false) t.dirty
+  Array.iter (fun d -> Array.fill d 0 t.assoc false) t.dirty;
+  Replacement.reset t.repl;
+  t.victim_addr <- -1;
+  t.victim_dirty <- false
 
 let stats t =
   {

@@ -1,3 +1,18 @@
+type iprefetch = Ip_none | Ip_next_line | Ip_fetch_directed
+
+let iprefetch_name = function
+  | Ip_none -> "none"
+  | Ip_next_line -> "next_line"
+  | Ip_fetch_directed -> "fetch_directed"
+
+let iprefetch_of_string = function
+  | "none" -> Some Ip_none
+  | "next_line" -> Some Ip_next_line
+  | "fetch_directed" -> Some Ip_fetch_directed
+  | _ -> None
+
+let all_iprefetch = [ Ip_none; Ip_next_line; Ip_fetch_directed ]
+
 type config = {
   line_bytes : int;
   l1i_size : int;
@@ -10,7 +25,9 @@ type config = {
   l2_assoc : int;
   l2_hit : int;
   l2_prefetcher : bool;
-  l1i_next_line : bool;
+  l1i_policy : Replacement.kind;
+  l1i_prefetch : iprefetch;
+  l1i_opportunity : bool;
   dram : Dram.config;
 }
 
@@ -27,7 +44,9 @@ let table_i =
     l2_assoc = 8;
     l2_hit = 10;
     l2_prefetcher = true;
-    l1i_next_line = true;
+    l1i_policy = Replacement.Lru;
+    l1i_prefetch = Ip_next_line;
+    l1i_opportunity = false;
     dram = Dram.default_config;
   }
 
@@ -52,20 +71,36 @@ type t = {
      allocating an [outcome] record (the pipeline only needs the
      latency; the record API below is a wrapper over this field). *)
   mutable last_level : level;
+  (* Fetch-directed i-prefetch: a single stride detector over the
+     demand-fetch line stream (the i-side analogue of the per-pc CLPT
+     entry — fetch lines form one stream, so one detector suffices). *)
+  mutable fd_last_line : int;
+  mutable fd_stride : int;
+  mutable fd_conf : int;
+  (* Prefetch-opportunity characterization (Zhao-style upper bound):
+     of the i-fetch line transitions that miss the L1i, how many went
+     to the line a last-successor predictor trained on prior fetch
+     history would have named?  Purely observational; only maintained
+     when [config.l1i_opportunity]. *)
+  mutable opp_prev_line : int;
+  opp_succ : (int, int) Hashtbl.t;
+  mutable opp_misses : int;
+  mutable opp_predictable : int;
 }
 
 let create config =
   {
     config;
     l1i =
-      Cache.create ~name:"l1i" ~size_bytes:config.l1i_size
-        ~assoc:config.l1i_assoc ~line_bytes:config.line_bytes;
+      Cache.create ~policy:config.l1i_policy ~name:"l1i"
+        ~size_bytes:config.l1i_size ~assoc:config.l1i_assoc
+        ~line_bytes:config.line_bytes ();
     l1d =
       Cache.create ~name:"l1d" ~size_bytes:config.l1d_size
-        ~assoc:config.l1d_assoc ~line_bytes:config.line_bytes;
+        ~assoc:config.l1d_assoc ~line_bytes:config.line_bytes ();
     l2 =
       Cache.create ~name:"l2" ~size_bytes:config.l2_size
-        ~assoc:config.l2_assoc ~line_bytes:config.line_bytes;
+        ~assoc:config.l2_assoc ~line_bytes:config.line_bytes ();
     dram = Dram.create ~config:config.dram ();
     prefetcher =
       (if config.l2_prefetcher then Some (Stride_prefetcher.create ())
@@ -74,6 +109,13 @@ let create config =
     pending_l1d = Hashtbl.create 64;
     pending_l2 = Hashtbl.create 64;
     last_level = L1;
+    fd_last_line = -1;
+    fd_stride = 0;
+    fd_conf = 0;
+    opp_prev_line = -1;
+    opp_succ = Hashtbl.create 256;
+    opp_misses = 0;
+    opp_predictable = 0;
   }
 
 let config t = t.config
@@ -81,7 +123,9 @@ let config t = t.config
 (* If a prefetch for [line] is in flight, the demand access waits for the
    remaining cycles instead of redoing the whole miss path.  -1 means no
    fill was pending (an exception match instead of [find_opt] so the
-   per-access path never allocates a [Some]). *)
+   per-access path never allocates a [Some]).  On consumption the fill
+   installs into [cache] and may displace a dirty line: the caller must
+   absorb that victim before its next access clears the report. *)
 let pending_wait pending cache ~now line =
   match Hashtbl.find pending line with
   | exception Not_found -> -1
@@ -105,6 +149,8 @@ let l2_path t ~now ~write line =
   let c = t.config in
   let wait = pending_wait t.pending_l2 t.l2 ~now line in
   if wait >= 0 then begin
+    (* The consumed fill may itself have displaced a dirty L2 line. *)
+    absorb_l2_victim t ~now;
     t.last_level <- L2;
     c.l2_hit + wait
   end
@@ -150,19 +196,23 @@ let train_prefetcher t ~now ~pc line =
       addrs
 
 (* Latency-only demand access: the serving level lands in [last_level],
-   nothing is allocated.  The [outcome]-returning API below wraps it. *)
-let demand_lat t ~now ~pc ~write ~l1 ~l1_hit ~pending addr =
+   nothing is allocated.  The [outcome]-returning API below wraps it.
+   [hint] is the L1's replacement fill hint (block temperature for
+   TRRIP; -1 = none). *)
+let demand_lat t ~now ~pc ~write ~hint ~l1 ~l1_hit ~pending addr =
   let line = Cache.line_of l1 addr in
   let is_data = l1 == t.l1d in
   let wait = pending_wait pending l1 ~now line in
   if wait >= 0 then begin
-    ignore (Cache.access_demand ~write l1 line);
+    (* Absorb the consumed fill's victim before the hit below clears
+       the victim report. *)
     absorb_l1_victim t ~now ~is_data l1;
+    ignore (Cache.access_demand_hinted ~write ~hint l1 line);
     t.last_level <- L1;
     l1_hit + wait
   end
   else begin
-    let hit = Cache.access_demand ~write l1 line in
+    let hit = Cache.access_demand_hinted ~write ~hint l1 line in
     absorb_l1_victim t ~now ~is_data l1;
     if hit then begin
       t.last_level <- L1;
@@ -182,27 +232,78 @@ let prefetch ~l1 ~pending t ~now ~write addr =
     Hashtbl.replace pending line (now + beyond)
   end
 
-let ifetch_lat t ~now addr =
+(* Observe a demand-fetch line for the Zhao-style opportunity bound: a
+   transition that misses counts as predictable when the last-successor
+   table already mapped the previous line to this one.  Runs before the
+   demand access so residency is judged pre-fill. *)
+let opportunity_observe t line =
+  if line <> t.opp_prev_line then begin
+    if
+      (not (Cache.probe t.l1i line)) && not (Hashtbl.mem t.pending_l1i line)
+    then begin
+      t.opp_misses <- t.opp_misses + 1;
+      match Hashtbl.find t.opp_succ t.opp_prev_line with
+      | exception Not_found -> ()
+      | succ -> if succ = line then t.opp_predictable <- t.opp_predictable + 1
+    end;
+    if t.opp_prev_line >= 0 then Hashtbl.replace t.opp_succ t.opp_prev_line line;
+    t.opp_prev_line <- line
+  end
+
+(* Fetch-directed prefetch: train the stride detector on the demand
+   line stream and, at confidence, run two strides ahead of the fetch
+   front (same threshold/saturation discipline as Stride_prefetcher). *)
+let fetch_directed t ~now line =
+  if line <> t.fd_last_line then begin
+    if t.fd_last_line >= 0 then begin
+      let stride = line - t.fd_last_line in
+      if stride = t.fd_stride then begin
+        if t.fd_conf < 3 then t.fd_conf <- t.fd_conf + 1
+      end
+      else begin
+        t.fd_stride <- stride;
+        t.fd_conf <- 1
+      end
+    end;
+    t.fd_last_line <- line;
+    if t.fd_conf >= 2 && t.fd_stride <> 0 then begin
+      prefetch ~l1:t.l1i ~pending:t.pending_l1i t ~now ~write:false
+        (line + t.fd_stride);
+      prefetch ~l1:t.l1i ~pending:t.pending_l1i t ~now ~write:false
+        (line + (2 * t.fd_stride))
+    end
+  end
+
+let ifetch_lat_hinted t ~now ~hint addr =
+  if t.config.l1i_opportunity then
+    opportunity_observe t (Cache.line_of t.l1i addr);
   let lat =
-    demand_lat t ~now ~pc:addr ~write:false ~l1:t.l1i
+    demand_lat t ~now ~pc:addr ~write:false ~hint ~l1:t.l1i
       ~l1_hit:t.config.l1i_hit ~pending:t.pending_l1i addr
   in
-  if t.config.l1i_next_line then begin
+  (match t.config.l1i_prefetch with
+  | Ip_none -> ()
+  | Ip_next_line ->
     (* The prefetch's own L2 walk must not clobber the demand level. *)
     let level = t.last_level in
     prefetch ~l1:t.l1i ~pending:t.pending_l1i t ~now ~write:false
       (addr + t.config.line_bytes);
     t.last_level <- level
-  end;
+  | Ip_fetch_directed ->
+    let level = t.last_level in
+    fetch_directed t ~now (Cache.line_of t.l1i addr);
+    t.last_level <- level);
   lat
 
+let ifetch_lat t ~now addr = ifetch_lat_hinted t ~now ~hint:(-1) addr
+
 let dread_lat t ~now ~pc addr =
-  demand_lat t ~now ~pc ~write:false ~l1:t.l1d ~l1_hit:t.config.l1d_hit
-    ~pending:t.pending_l1d addr
+  demand_lat t ~now ~pc ~write:false ~hint:(-1) ~l1:t.l1d
+    ~l1_hit:t.config.l1d_hit ~pending:t.pending_l1d addr
 
 let dwrite_lat t ~now ~pc addr =
-  demand_lat t ~now ~pc ~write:true ~l1:t.l1d ~l1_hit:t.config.l1d_hit
-    ~pending:t.pending_l1d addr
+  demand_lat t ~now ~pc ~write:true ~hint:(-1) ~l1:t.l1d
+    ~l1_hit:t.config.l1d_hit ~pending:t.pending_l1d addr
 
 let last_level t = t.last_level
 
@@ -234,6 +335,21 @@ let touch_d t addr =
   let line = Cache.line_of t.l1d addr in
   Cache.fill t.l1d line;
   Cache.fill t.l2 line
+
+let invalidate_all t =
+  Cache.invalidate_all t.l1i;
+  Cache.invalidate_all t.l1d;
+  Cache.invalidate_all t.l2;
+  Hashtbl.reset t.pending_l1i;
+  Hashtbl.reset t.pending_l1d;
+  Hashtbl.reset t.pending_l2;
+  t.fd_last_line <- -1;
+  t.fd_stride <- 0;
+  t.fd_conf <- 0;
+  t.opp_prev_line <- -1
+
+let iopp_misses t = t.opp_misses
+let iopp_predictable t = t.opp_predictable
 
 let l1i_stats t = Cache.stats t.l1i
 let l1d_stats t = Cache.stats t.l1d

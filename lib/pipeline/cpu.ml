@@ -117,11 +117,17 @@ let dummy_event : Prog.Trace.event =
     fetch_break = false;
   }
 
+let no_itemp : int array = [||]
+
 let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit ?probe
-    (cfg : Config.t) (source : source) : Stats.t =
+    ?(itemp = no_itemp) (cfg : Config.t) (source : source) : Stats.t =
   (match fuel with
   | Some f when f <= 0 -> invalid_arg "Cpu.run_stream: fuel must be positive"
   | _ -> ());
+  (* Block-temperature table for the TRRIP i-cache policy: indexed by
+     block id, 0 hot .. 3 cold.  Empty = no hints (every lookup yields
+     -1, the policies' "unknown"). *)
+  let nitemp = Array.length itemp in
   let fresh_slot () =
     {
       idx = -1;
@@ -860,7 +866,13 @@ let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit ?probe
                 stop := true
               else begin
                 if line <> !cur_line then begin
-                  let lat = Mem.Hierarchy.ifetch_lat hier ~now s.ev.pc in
+                  let hint =
+                    let b = s.ev.block_id in
+                    if b >= 0 && b < nitemp then itemp.(b) else -1
+                  in
+                  let lat =
+                    Mem.Hierarchy.ifetch_lat_hinted hier ~now ~hint s.ev.pc
+                  in
                   new_line_accessed := true;
                   cur_line := line;
                   if lat > cfg.mem.l1i_hit then begin
@@ -1045,9 +1057,11 @@ let run_stream ?(warm = true) ?(checks = false) ?fuel ?on_commit ?probe
     efetch_correct = Efetch.correct efetch;
     fetch_bytes = !fbytes_total;
     fetch_groups = !fgroups;
+    iopp_misses = Mem.Hierarchy.iopp_misses hier;
+    iopp_predictable = Mem.Hierarchy.iopp_predictable hier;
   }
 
-let run ?warm ?checks ?fuel ?on_commit ?probe (cfg : Config.t)
+let run ?warm ?checks ?fuel ?on_commit ?probe ?itemp (cfg : Config.t)
     (trace : Prog.Trace.t) : Stats.t =
-  run_stream ?warm ?checks ?fuel ?on_commit ?probe cfg (fun () ->
+  run_stream ?warm ?checks ?fuel ?on_commit ?probe ?itemp cfg (fun () ->
       Prog.Trace.Stream.of_trace trace)

@@ -37,6 +37,7 @@ val run_stream :
   ?fuel:int ->
   ?on_commit:(commit -> unit) ->
   ?probe:Telemetry.Probe.t ->
+  ?itemp:int array ->
   Config.t ->
   source ->
   Stats.t
@@ -81,7 +82,16 @@ val run_stream :
     purely observational — the returned [Stats.t] is bit-identical with
     or without one attached — and with [checks] on, the end-of-run
     identities additionally assert that the probe's running totals equal
-    the stage accumulators for all three populations. *)
+    the stage accumulators for all three populations.
+
+    [itemp] is a per-block temperature table (indexed by
+    [Prog.Trace.event.block_id]; 0 hot .. 3 cold) consulted on every
+    demand i-fetch line transition and passed to the hierarchy as the
+    L1i replacement fill hint — the feedback path of the TRRIP policy
+    ({!Mem.Replacement.Trrip}).  Out-of-range ids (and the default
+    empty table) yield -1, "unknown".  Policies other than TRRIP
+    ignore the hint, so passing a table under the default
+    configuration changes nothing. *)
 
 val run :
   ?warm:bool ->
@@ -89,6 +99,7 @@ val run :
   ?fuel:int ->
   ?on_commit:(commit -> unit) ->
   ?probe:Telemetry.Probe.t ->
+  ?itemp:int array ->
   Config.t ->
   Prog.Trace.t ->
   Stats.t

@@ -67,7 +67,15 @@ type t = {
      declaration order. *)
   fetch_bytes : int;
   fetch_groups : int;
+  iopp_misses : int;
+      (* opportunity mode: i-fetch line transitions that missed the L1i *)
+  iopp_predictable : int;
+      (* of those, misses a last-successor predictor would have covered *)
 }
+
+let opportunity_fraction t =
+  if t.iopp_misses = 0 then 0.0
+  else float_of_int t.iopp_predictable /. float_of_int t.iopp_misses
 
 let bytes_per_cycle t =
   if t.cycles = 0 then 0.0
@@ -94,7 +102,7 @@ let render t =
     |> String.concat ", "
   in
   Util.Text_table.render_kv
-    [
+    ([
       ("cycles", string_of_int t.cycles);
       ("committed (work)", string_of_int t.committed_work);
       ("committed (total)", string_of_int t.committed_total);
@@ -107,6 +115,19 @@ let render t =
       ( "fetch bandwidth",
         Printf.sprintf "%d bytes in %d groups (%.2f B/cycle)" t.fetch_bytes
           t.fetch_groups (bytes_per_cycle t) );
+    ]
+    (* Opportunity counters only exist when the characterization mode
+       ran; omitting the line otherwise keeps default output
+       byte-identical to the seed. *)
+    @ (if t.iopp_misses = 0 then []
+       else
+         [
+           ( "i-prefetch opportunity",
+             Printf.sprintf "%d line misses, %d predictable (%.1f%%)"
+               t.iopp_misses t.iopp_predictable
+               (100.0 *. opportunity_fraction t) );
+         ])
+    @ [
       ("stage shares (all)", shares t.stage_all);
       ("stage shares (critical)", shares t.stage_critical);
       ( "bpu",
@@ -118,4 +139,4 @@ let render t =
       ( "dram",
         Printf.sprintf "%d reads, %d writes, %d row hits, %d row misses"
           t.dram.reads t.dram.writes t.dram.row_hits t.dram.row_misses );
-    ]
+    ])

@@ -60,6 +60,14 @@ type t = {
   fetch_groups : int;
       (** fetch groups formed (cycles in which fetch delivered ≥ 1
           instruction) *)
+  iopp_misses : int;
+      (** opportunity mode ({!Mem.Hierarchy.config.l1i_opportunity}):
+          i-fetch line transitions that missed the L1i; 0 when the mode
+          is off *)
+  iopp_predictable : int;
+      (** of {!iopp_misses}, those a last-successor predictor over prior
+          fetch history would have named — the Zhao-style upper bound on
+          history-based instruction prefetching *)
 }
 (** New fields are appended at the end: the golden-digest tests marshal
     a projection tuple of the seed-era prefix, which pins its
@@ -74,6 +82,10 @@ val bytes_per_cycle : t -> float
 
 val critical_fraction : t -> float
 (** Share of committed work instructions classified critical. *)
+
+val opportunity_fraction : t -> float
+(** [iopp_predictable / iopp_misses]; 0 when no misses were observed
+    (in particular whenever opportunity mode was off). *)
 
 val render : t -> string
 (** Multi-line human-readable report. *)

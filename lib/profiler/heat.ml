@@ -1,0 +1,56 @@
+type t = { counts : int array; temps : int array }
+
+(* Cumulative-share boundaries, in percent: blocks covering the first
+   50% of dynamic instructions are hot (0), to 80% warm (1), to 95%
+   cool (2), the rest cold (3). *)
+let hot_pct = 50
+let warm_pct = 80
+let cool_pct = 95
+
+let of_counts counts =
+  let n = Array.length counts in
+  let total = Array.fold_left ( + ) 0 counts in
+  let temps = Array.make n 3 in
+  if total > 0 then begin
+    let order = Array.init n (fun i -> i) in
+    (* Hottest first; ties by block id keep the ranking deterministic. *)
+    Array.sort
+      (fun a b ->
+        if counts.(a) <> counts.(b) then compare counts.(b) counts.(a)
+        else compare a b)
+      order;
+    (* A block's tier comes from the share accumulated *before* it, so
+       the hottest block is always hot even when it alone exceeds the
+       first boundary. *)
+    let cum = ref 0 in
+    Array.iter
+      (fun b ->
+        if counts.(b) > 0 then begin
+          let before = !cum * 100 in
+          temps.(b) <-
+            (if before < hot_pct * total then 0
+             else if before < warm_pct * total then 1
+             else if before < cool_pct * total then 2
+             else 3);
+          cum := !cum + counts.(b)
+        end)
+      order
+  end;
+  { counts; temps }
+
+let profile ~num_blocks cursor =
+  let counts = Array.make num_blocks 0 in
+  Prog.Trace.Stream.iter
+    (fun (e : Prog.Trace.event) ->
+      let b = e.block_id in
+      if b >= 0 && b < num_blocks then counts.(b) <- counts.(b) + 1)
+    cursor;
+  of_counts counts
+
+let temperature t b =
+  if b >= 0 && b < Array.length t.temps then t.temps.(b) else 3
+
+let temperatures t = t.temps
+
+let count t b =
+  if b >= 0 && b < Array.length t.counts then t.counts.(b) else 0

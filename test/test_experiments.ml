@@ -129,6 +129,55 @@ let test_memo_key_uses_config () =
   Alcotest.(check bool) "equal configs share one memo entry" true
     (renamed_stats == again)
 
+let test_policy_lab_default_cell_shares_memo () =
+  (* The policy lab's (lru, next_line) machine is structurally equal to
+     table_i, so its cells must come from the same memo entries as a
+     plain default-machine run — the sweep's anchor row is the baseline
+     row, bit for bit, not a re-simulation that could drift. *)
+  Alcotest.(check bool) "policy-lab registered" true
+    (Experiments.find "policy-lab" <> None);
+  let default_config =
+    Experiments.Policy_lab.config Mem.Replacement.Lru Mem.Hierarchy.Ip_next_line
+  in
+  Alcotest.(check bool) "default cell config equals table_i" true
+    (default_config = Pipeline.Config.table_i);
+  let h = Experiments.Harness.create ~instrs:8_000 () in
+  let app = Option.get (Workload.Apps.find "Music") in
+  let plain = Experiments.Harness.stats h app Critics.Scheme.Baseline in
+  let cell =
+    Experiments.Harness.stats h ~config:default_config app
+      Critics.Scheme.Baseline
+  in
+  Alcotest.(check bool) "same memo entry (physical equality)" true
+    (cell == plain)
+
+let test_policy_lab_runs_small () =
+  let h = Experiments.Harness.create ~instrs:6_000 () in
+  let apps = [ Option.get (Workload.Apps.find "Music") ] in
+  let r = Experiments.Policy_lab.run ~apps h in
+  Alcotest.(check int) "12 cells (4 policies x 3 prefetchers)" 12
+    (List.length r.Experiments.Policy_lab.cells);
+  let default_cell =
+    List.find
+      (fun (c : Experiments.Policy_lab.cell) ->
+        c.policy = Mem.Replacement.Lru && c.prefetch = Mem.Hierarchy.Ip_next_line)
+      r.cells
+  in
+  Alcotest.(check (float 1e-9)) "default cell retention is 1 (or 0/0)"
+    (if default_cell.speedup = 0.0 then 0.0 else 1.0)
+    default_cell.retention;
+  Alcotest.(check int) "one opportunity row" 1
+    (List.length r.Experiments.Policy_lab.opps);
+  let o = List.hd r.opps in
+  Alcotest.(check bool) "predictable <= misses" true
+    (o.Experiments.Policy_lab.predictable <= o.Experiments.Policy_lab.misses);
+  let rendered = Experiments.Policy_lab.render r in
+  Alcotest.(check bool) "render non-empty" true (String.length rendered > 100);
+  let json = Experiments.Policy_lab.to_json r in
+  Alcotest.(check bool) "json mentions cells" true
+    (String.length json > 100
+    && String.sub json 0 12 = "{ \"cells\": [")
+
 let test_suites_structure () =
   Alcotest.(check int) "three suites" 3 (List.length Experiments.Harness.suites);
   List.iter
@@ -156,5 +205,11 @@ let () =
             test_parallel_determinism;
           Alcotest.test_case "memo key uses config" `Quick
             test_memo_key_uses_config;
+        ] );
+      ( "policy lab",
+        [
+          Alcotest.test_case "default cell shares memo" `Quick
+            test_policy_lab_default_cell_shares_memo;
+          Alcotest.test_case "small sweep" `Quick test_policy_lab_runs_small;
         ] );
     ]

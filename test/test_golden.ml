@@ -12,7 +12,16 @@
    If an intentional semantic change to the simulator ever invalidates
    them, regenerate by running this suite with CRITICS_GOLDEN_PRINT=1:
    each table is printed as ready-to-paste OCaml tuples instead of
-   asserted. *)
+   asserted.
+
+   One such regeneration has happened: the five lbm/perfect_bp+clp
+   entries changed when the prefetch-fill victim bug was fixed (a
+   critical-load prefetch fill that evicted a dirty L1d line used to
+   drop the writeback the L2 should absorb; lbm under clp is the one
+   recorded workload that actually evicts dirty lines through that
+   path at the 6000-instruction budget).  All other entries — in
+   particular every table_i row — are the original seed recordings,
+   still reproduced bit for bit. *)
 
 (* The digest marshals a projection tuple of the fields [Stats.t] had
    when the tables were recorded, in their declaration order.  Records
@@ -93,21 +102,21 @@ let golden =
     ("lbm", "baseline", "4x_icache+backend_prio", "01cf52e3c11f42b01d51b7cbd2f928c4");
     ("lbm", "baseline", "narrow2", "0a1ccda3de5229c4de3b3218ecb93bbc");
     ("lbm", "baseline", "free_cdp+efetch", "3b0c9772abb73d90dc13d62ab7b1403a");
-    ("lbm", "baseline", "perfect_bp+clp", "d04e24aaec3f39c3a69a6c2b38ae3175");
+    ("lbm", "baseline", "perfect_bp+clp", "b0a4d522a5139e5cbbd4f9e0bbaac11c");
     ("lbm", "baseline", "wrong_path", "2b7dc19c6aa36fb2b672195d18ba646b");
     ("lbm", "critic", "table_i", "d4f014cb4947667cbd9dd9147b43d05f");
     ("lbm", "critic", "2x_fd", "85e41505df37114134c70a75a815a293");
     ("lbm", "critic", "4x_icache+backend_prio", "819898737b1be65caed324a0740de10f");
     ("lbm", "critic", "narrow2", "59bae7fc1e40ea5ecffec430aff6ab15");
     ("lbm", "critic", "free_cdp+efetch", "569177a212c7aa3ae5e68dd51b93258c");
-    ("lbm", "critic", "perfect_bp+clp", "a362196a7834359599a0bea10cfdd707");
+    ("lbm", "critic", "perfect_bp+clp", "74ef7ab2c44e017b9bc00a92292404b4");
     ("lbm", "critic", "wrong_path", "0ee4b4e4741560c3ab454babbe6a0dea");
     ("lbm", "opp16+critic", "table_i", "d0af99f466120c688e3d265745723034");
     ("lbm", "opp16+critic", "2x_fd", "46d71a0e9c1b326b0c07ad99c4bb6738");
     ("lbm", "opp16+critic", "4x_icache+backend_prio", "bdc6c0ec849f50d77cd5b1406ff83ff9");
     ("lbm", "opp16+critic", "narrow2", "32f000fbab38d2748f5084cd6e19ef6a");
     ("lbm", "opp16+critic", "free_cdp+efetch", "6de579cf0917caa86e64338db70fee80");
-    ("lbm", "opp16+critic", "perfect_bp+clp", "ee3d71168c232d9cf44ceba49eb013ac");
+    ("lbm", "opp16+critic", "perfect_bp+clp", "e938d564991bcd8ff587fa55c0b55fbd");
     ("lbm", "opp16+critic", "wrong_path", "04f9f00b58f5794d5a8ade5098fc1562");
   ]
 
@@ -157,19 +166,63 @@ let golden_hybrid =
     ("lbm", "narrow.only", "4x_icache+backend_prio", "fbf805214920a36b075f56100a3fa619");
     ("lbm", "narrow.only", "narrow2", "15eb5e26612ee919bf07ec4c25a2a067");
     ("lbm", "narrow.only", "free_cdp+efetch", "7cbd2918431a1587cc59d65585fe58dc");
-    ("lbm", "narrow.only", "perfect_bp+clp", "3f6ad9f5c2ebfa2f0635839ef945ec37");
+    ("lbm", "narrow.only", "perfect_bp+clp", "01eff21e971dab189312429825f46b35");
     ("lbm", "narrow.only", "wrong_path", "889f3a33de5b7637f6b18ab69e7f229c");
     ("lbm", "critic.reorder", "table_i", "d4f014cb4947667cbd9dd9147b43d05f");
     ("lbm", "critic.reorder", "2x_fd", "85e41505df37114134c70a75a815a293");
     ("lbm", "critic.reorder", "4x_icache+backend_prio", "819898737b1be65caed324a0740de10f");
     ("lbm", "critic.reorder", "narrow2", "59bae7fc1e40ea5ecffec430aff6ab15");
     ("lbm", "critic.reorder", "free_cdp+efetch", "569177a212c7aa3ae5e68dd51b93258c");
-    ("lbm", "critic.reorder", "perfect_bp+clp", "a362196a7834359599a0bea10cfdd707");
+    ("lbm", "critic.reorder", "perfect_bp+clp", "74ef7ab2c44e017b9bc00a92292404b4");
     ("lbm", "critic.reorder", "wrong_path", "0ee4b4e4741560c3ab454babbe6a0dea");
   ]
 
 let hybrid_schemes =
   [ Critics.Scheme.Narrow_only; Critics.Scheme.Critic_reorder ]
+
+(* Non-default i-cache replacement policies (PR 10), recorded the day
+   the policy laboratory landed, same loop and 6000-instruction budget.
+   Two machines: Table I with SRRIP, and with TRRIP (whose fill hints
+   come from the profiler's block-heat tiers via Run.heat).  These lock
+   the RRIP family against silent drift the same way the tables above
+   lock the engine; the reference-model properties in test_mem lock the
+   policies against their specs. *)
+(* Music and lbm never fill an L1i set at this budget, so the policy is
+   never consulted and their digests equal the LRU recordings above —
+   the equality is itself part of the contract (invalid-way preference
+   stays policy-independent).  Acrobat's i-side working set does evict:
+   its srrip digests diverge from table_i's, as does critic under trrip
+   (baseline under trrip happens to pick the same victims as LRU at
+   this budget). *)
+let golden_policy =
+  [
+    ("Acrobat", "baseline", "srrip_i", "00082a0fe28faf4a5da7071f810aac72");
+    ("Acrobat", "baseline", "trrip_i", "49933c833a1d353408309a48c812486c");
+    ("Acrobat", "critic", "srrip_i", "ef8b40dabfbd8277023671be0145c600");
+    ("Acrobat", "critic", "trrip_i", "bd0a22d05f32636ca58d225b028649a5");
+    ("Music", "baseline", "srrip_i", "9ec6091ef9bbf1f144546267bccfe309");
+    ("Music", "baseline", "trrip_i", "9ec6091ef9bbf1f144546267bccfe309");
+    ("Music", "critic", "srrip_i", "8575238a4352ff267ef33b0fc9f26808");
+    ("Music", "critic", "trrip_i", "8575238a4352ff267ef33b0fc9f26808");
+    ("lbm", "baseline", "srrip_i", "3b0c9772abb73d90dc13d62ab7b1403a");
+    ("lbm", "baseline", "trrip_i", "3b0c9772abb73d90dc13d62ab7b1403a");
+    ("lbm", "critic", "srrip_i", "d4f014cb4947667cbd9dd9147b43d05f");
+    ("lbm", "critic", "trrip_i", "d4f014cb4947667cbd9dd9147b43d05f");
+  ]
+
+let policy_configs =
+  let with_policy p =
+    {
+      Pipeline.Config.table_i with
+      mem = { Pipeline.Config.table_i.mem with Mem.Hierarchy.l1i_policy = p };
+    }
+  in
+  [
+    ("srrip_i", with_policy Mem.Replacement.Srrip);
+    ("trrip_i", with_policy Mem.Replacement.Trrip);
+  ]
+
+let policy_schemes = [ Critics.Scheme.Baseline; Critics.Scheme.Critic ]
 
 (* CRITICS_TELEMETRY=1 re-runs the whole suite with a cycle-attribution
    probe attached to every simulation.  The digests must not change:
@@ -180,7 +233,7 @@ let probe () =
   | None | Some "" | Some "0" -> None
   | Some _ -> Some (Telemetry.Probe.create ~window:256 ())
 
-let cases_for schemes =
+let cases ~configs schemes =
   List.concat_map
     (fun app ->
       let ctx =
@@ -195,9 +248,11 @@ let cases_for schemes =
                 Critics.Scheme.name scheme,
                 cname,
                 digest (Critics.Run.stats ~config ?probe:(probe ()) ctx scheme) ))
-            Oracle.Differential.configs)
+            configs)
         schemes)
     [ "Acrobat"; "Music"; "lbm" ]
+
+let cases_for schemes = cases ~configs:Oracle.Differential.configs schemes
 
 (* Regeneration mode: CRITICS_GOLDEN_PRINT=1 prints each table as
    ready-to-paste OCaml tuples instead of asserting, so an intentional
@@ -227,6 +282,9 @@ let check_table golden actual =
 
 let test_stats_match_recorded_engine () =
   check_table golden (cases_for schemes)
+
+let test_policy_machines_match_recorded () =
+  check_table golden_policy (cases ~configs:policy_configs policy_schemes)
 
 let test_hybrid_schemes_match_recorded () =
   let actual = cases_for hybrid_schemes in
@@ -260,5 +318,7 @@ let () =
             test_stats_match_recorded_engine;
           Alcotest.test_case "42 hybrid-scheme digests" `Slow
             test_hybrid_schemes_match_recorded;
+          Alcotest.test_case "12 policy-machine digests" `Slow
+            test_policy_machines_match_recorded;
         ] );
     ]

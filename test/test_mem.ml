@@ -5,8 +5,8 @@ module D = Mem.Dram
 module H = Mem.Hierarchy
 module SP = Mem.Stride_prefetcher
 
-let mk_cache ?(size = 1024) ?(assoc = 2) ?(line = 64) () =
-  C.create ~name:"t" ~size_bytes:size ~assoc ~line_bytes:line
+let mk_cache ?policy ?(size = 1024) ?(assoc = 2) ?(line = 64) () =
+  C.create ?policy ~name:"t" ~size_bytes:size ~assoc ~line_bytes:line ()
 
 let test_geometry () =
   let c = mk_cache () in
@@ -14,7 +14,8 @@ let test_geometry () =
   Alcotest.(check int) "assoc" 2 (C.assoc c);
   Alcotest.check_raises "bad line"
     (Invalid_argument "Cache.create: line_bytes must be a power of two")
-    (fun () -> ignore (C.create ~name:"x" ~size_bytes:1024 ~assoc:2 ~line_bytes:48))
+    (fun () ->
+      ignore (C.create ~name:"x" ~size_bytes:1024 ~assoc:2 ~line_bytes:48 ()))
 
 let test_hit_after_fill () =
   let c = mk_cache () in
@@ -71,9 +72,54 @@ let test_writeback_tracking () =
   ignore (C.access c (24 * 64));
   Alcotest.(check int) "clean eviction free" 1 (C.stats c).C.writebacks
 
+let test_fill_reports_victim () =
+  (* A prefetch fill that displaces a dirty line must report the victim
+     so the caller can absorb the writeback — dropping it was the
+     historical bug behind the lbm golden regeneration. *)
+  let c = mk_cache () in
+  ignore (C.access ~write:true c 0);
+  ignore (C.access c (8 * 64));
+  C.fill c (16 * 64);
+  Alcotest.(check int) "victim line reported" 0 (C.victim_addr c);
+  Alcotest.(check bool) "victim was dirty" true (C.victim_dirty c);
+  Alcotest.(check int) "writeback counted" 1 (C.stats c).C.writebacks;
+  (* Refilling a resident line displaces nothing; leaving the previous
+     report in place would let a caller absorb the same victim twice. *)
+  C.fill c (16 * 64);
+  Alcotest.(check int) "resident fill clears report" (-1) (C.victim_addr c)
+
+let test_cache_invalidate_all () =
+  let c = mk_cache () in
+  ignore (C.access ~write:true c 0);
+  ignore (C.access c (8 * 64));
+  C.invalidate_all c;
+  Alcotest.(check bool) "lines dropped" false (C.probe c 0);
+  Alcotest.(check int) "victim report cleared" (-1) (C.victim_addr c);
+  (* Dirty bits died with the lines: churning the set afterwards evicts
+     clean lines only, so no phantom writebacks appear. *)
+  let wb = (C.stats c).C.writebacks in
+  ignore (C.access c 0);
+  ignore (C.access c (8 * 64));
+  ignore (C.access c (16 * 64));
+  ignore (C.access c (24 * 64));
+  Alcotest.(check int) "no phantom writebacks" wb (C.stats c).C.writebacks
+
+let test_srrip_prefers_distant () =
+  (* 2-way set 0: a0 re-referenced (RRPV 0), a1 only filled (RRPV 2).
+     SRRIP ages both and evicts a1 — where true LRU, for which a1 is the
+     more recent line, would have evicted a0. *)
+  let c = mk_cache ~policy:Mem.Replacement.Srrip () in
+  let a0 = 0 and a1 = 8 * 64 and a2 = 16 * 64 in
+  ignore (C.access c a0);
+  ignore (C.access c a0);
+  ignore (C.access c a1);
+  ignore (C.access c a2);
+  Alcotest.(check bool) "re-referenced line survives" true (C.probe c a0);
+  Alcotest.(check bool) "long-interval line evicted" false (C.probe c a1)
+
 let test_hierarchy_store_writeback_reaches_dram () =
   let small =
-    { H.table_i with H.l1d_size = 1024; l2_size = 4096; l1i_next_line = false }
+    { H.table_i with H.l1d_size = 1024; l2_size = 4096; l1i_prefetch = H.Ip_none }
   in
   let h = H.create small in
   (* dirty many distinct lines: they must eventually drain to DRAM *)
@@ -169,6 +215,36 @@ let test_next_line_prefetcher () =
   let o = H.ifetch h ~now:500 0x8040 in
   Alcotest.(check bool) "next line was prefetched" true (o.H.level = H.L1)
 
+let test_hierarchy_invalidate_all () =
+  let h = H.create H.table_i in
+  ignore (H.dwrite h ~now:0 ~pc:0 0xB000);
+  H.prefetch_d h ~now:100 ~pc:0 0x9000;
+  let writes = (H.dram_stats h).D.writes in
+  H.invalidate_all h;
+  Alcotest.(check int) "invalidation writes nothing back" writes
+    ((H.dram_stats h).D.writes);
+  (* The dirty line and the completed part of the prefetch are both
+     gone: each address is a full cold miss again. *)
+  let o = H.dread h ~now:1000 ~pc:0 0xB000 in
+  Alcotest.(check bool) "dirty line dropped" true (o.H.level = H.Main);
+  let o = H.dread h ~now:1001 ~pc:0 0x9000 in
+  Alcotest.(check bool) "prefetched line dropped" true (o.H.level = H.Main)
+
+let test_hierarchy_invalidate_kills_inflight_prefetch () =
+  (* Invalidate while the prefetch is still in flight: the later demand
+     must pay the whole miss, not the remaining cycles. *)
+  let h = H.create H.table_i in
+  H.prefetch_d h ~now:0 ~pc:0 0xA000;
+  H.invalidate_all h;
+  let after = H.dread h ~now:1 ~pc:0 0xA000 in
+  let cold = H.dread (H.create H.table_i) ~now:1 ~pc:0 0xA000 in
+  Alcotest.(check bool) "full miss again" true (after.H.level = H.Main);
+  (* No partial-wait credit from the killed prefetch: at least the cold
+     miss (DRAM bank timing is not cache state, so queueing behind the
+     prefetch's DRAM access may make it dearer). *)
+  Alcotest.(check bool) "no partial-wait credit" true
+    (after.H.latency >= cold.H.latency)
+
 let prop_cache_hits_bounded =
   QCheck.Test.make ~name:"hits + misses = accesses" ~count:100
     QCheck.(list_of_size Gen.(int_range 1 200) (int_bound 0xFFFF))
@@ -195,7 +271,7 @@ let prop_cache_matches_lru_model =
     (fun ops ->
       let c =
         C.create ~name:"model" ~size_bytes:(sets * assoc * 64) ~assoc
-          ~line_bytes:64
+          ~line_bytes:64 ()
       in
       let model = Array.make sets [] in
       let model_writebacks = ref 0 in
@@ -257,6 +333,124 @@ let prop_cache_matches_lru_model =
         ops
       && (C.stats c).C.writebacks = !model_writebacks)
 
+(* RRIP-family reference models.  One naive per-way executable spec,
+   written straight from the papers rather than from [Mem.Replacement]:
+   each line carries a 2-bit RRPV; fills predict per the policy (SRRIP:
+   long; BRRIP: distant except every 32nd fill; TRRIP: the temperature
+   hint, clamped); hits promote to near-immediate; the victim is the
+   first way at distant, aging every way until one gets there.  Invalid
+   ways are preferred before the policy is consulted.  The cache must
+   agree on the hit flag, the victim report, residency, and the
+   writeback count. *)
+let prop_cache_matches_rrip_model kind =
+  let sets = 4 and assoc = 4 and shift = 6 in
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "cache matches a naive %s reference model"
+         (Mem.Replacement.kind_name kind))
+    ~count:200
+    (* (address, (op, hint)): op 0 = demand read, 1 = demand write,
+       2 = prefetch fill; hint is a TRRIP temperature, -1 = unknown
+       (ignored by SRRIP/BRRIP). *)
+    QCheck.(
+      list_of_size
+        Gen.(int_range 1 400)
+        (pair (int_bound 0x7FF) (pair (int_bound 2) (int_range (-1) 3))))
+    (fun ops ->
+      let c =
+        C.create ~policy:kind ~name:"model" ~size_bytes:(sets * assoc * 64)
+          ~assoc ~line_bytes:64 ()
+      in
+      let mtag = Array.make_matrix sets assoc (-1) in
+      let mdirty = Array.make_matrix sets assoc false in
+      let mrrpv = Array.make_matrix sets assoc 3 in
+      let fills = ref 0 in
+      let model_writebacks = ref 0 in
+      let fill_rrpv hint =
+        match kind with
+        | Mem.Replacement.Srrip -> 2
+        | Mem.Replacement.Brrip ->
+          incr fills;
+          if !fills mod 32 = 0 then 2 else 3
+        | Mem.Replacement.Trrip -> if hint < 0 then 2 else min hint 3
+        | Mem.Replacement.Lru -> assert false
+      in
+      let find set tag =
+        let w = ref (-1) in
+        for i = assoc - 1 downto 0 do
+          if mtag.(set).(i) = tag then w := i
+        done;
+        !w
+      in
+      let install set tag hint dirty =
+        let way = ref (find set (-1)) in
+        if !way < 0 then begin
+          let found = ref (-1) in
+          while !found < 0 do
+            for i = assoc - 1 downto 0 do
+              if mrrpv.(set).(i) = 3 then found := i
+            done;
+            if !found < 0 then
+              for i = 0 to assoc - 1 do
+                mrrpv.(set).(i) <- mrrpv.(set).(i) + 1
+              done
+          done;
+          way := !found
+        end;
+        let victim =
+          if mtag.(set).(!way) = -1 then None
+          else begin
+            let vd = mdirty.(set).(!way) in
+            if vd then incr model_writebacks;
+            Some (((mtag.(set).(!way) * sets) + set) lsl shift, vd)
+          end
+        in
+        mtag.(set).(!way) <- tag;
+        mdirty.(set).(!way) <- dirty;
+        mrrpv.(set).(!way) <- fill_rrpv hint;
+        victim
+      in
+      let victim_agrees mv =
+        match mv with
+        | None -> C.victim_addr c = -1
+        | Some (va, vd) -> C.victim_addr c = va && C.victim_dirty c = vd
+      in
+      List.for_all
+        (fun (addr, (op, hint)) ->
+          let line = addr lsr shift in
+          let set = line mod sets and tag = line / sets in
+          let way = find set tag in
+          let present = way >= 0 in
+          let step_ok =
+            if op = 2 then begin
+              C.fill c addr;
+              let mv =
+                if present then begin
+                  mrrpv.(set).(way) <- 0;
+                  None
+                end
+                else install set tag (-1) false
+              in
+              victim_agrees mv
+            end
+            else begin
+              let write = op = 1 in
+              let hit = C.access_demand_hinted ~write ~hint c addr in
+              let mv =
+                if present then begin
+                  mrrpv.(set).(way) <- 0;
+                  if write then mdirty.(set).(way) <- true;
+                  None
+                end
+                else install set tag hint write
+              in
+              hit = present && victim_agrees mv
+            end
+          in
+          step_ok && C.probe c addr = (find set tag >= 0))
+        ops
+      && (C.stats c).C.writebacks = !model_writebacks)
+
 (* An affine address stream trains the stride table in exactly three
    observations; from the fourth on every observation returns exactly
    [degree] addresses spaced by the stride, and [issued] accounts for
@@ -294,6 +488,10 @@ let () =
           Alcotest.test_case "probe side-effect free" `Quick test_probe_no_side_effect;
           Alcotest.test_case "stats" `Quick test_stats;
           Alcotest.test_case "fill is prefetch" `Quick test_fill_is_prefetch;
+          Alcotest.test_case "fill reports victim" `Quick test_fill_reports_victim;
+          Alcotest.test_case "invalidate all" `Quick test_cache_invalidate_all;
+          Alcotest.test_case "srrip prefers distant" `Quick
+            test_srrip_prefers_distant;
           Alcotest.test_case "writeback tracking" `Quick test_writeback_tracking;
           Alcotest.test_case "writebacks reach DRAM" `Quick
             test_hierarchy_store_writeback_reaches_dram;
@@ -318,12 +516,18 @@ let () =
             test_hierarchy_early_demand_pays_partial;
           Alcotest.test_case "warmup touch" `Quick test_hierarchy_touch_warm;
           Alcotest.test_case "next-line prefetch" `Quick test_next_line_prefetcher;
+          Alcotest.test_case "invalidate all" `Quick test_hierarchy_invalidate_all;
+          Alcotest.test_case "invalidate kills in-flight prefetch" `Quick
+            test_hierarchy_invalidate_kills_inflight_prefetch;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
             prop_cache_hits_bounded;
             prop_cache_matches_lru_model;
+            prop_cache_matches_rrip_model Mem.Replacement.Srrip;
+            prop_cache_matches_rrip_model Mem.Replacement.Brrip;
+            prop_cache_matches_rrip_model Mem.Replacement.Trrip;
             prop_stride_prefetcher_affine;
           ] );
     ]
